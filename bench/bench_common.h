@@ -1,0 +1,99 @@
+// Shared helpers for the figure/table benchmark binaries: a process-wide
+// benchmark CA and identities, per-party CPU timers, and mean/CI statistics.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "x509/certificate.h"
+
+namespace mbtls::bench {
+
+inline crypto::Drbg& rng() {
+  static crypto::Drbg r("bench", 0);
+  return r;
+}
+
+inline const x509::CertificateAuthority& ca() {
+  static const auto authority =
+      x509::CertificateAuthority::create("Bench Root CA", x509::KeyType::kEcdsaP256, rng());
+  return authority;
+}
+
+struct Identity {
+  std::shared_ptr<x509::PrivateKey> key;
+  std::vector<x509::Certificate> chain;
+};
+
+/// Issue an identity; RSA keys use full 2048-bit moduli (the paper's
+/// ECDHE-RSA / DHE-RSA suites sign with RSA certificates).
+inline Identity make_identity(const std::string& cn,
+                              x509::KeyType type = x509::KeyType::kRsa) {
+  Identity id;
+  id.key = std::make_shared<x509::PrivateKey>(x509::PrivateKey::generate(type, rng(), 2048));
+  x509::CertRequest req;
+  req.subject_cn = cn;
+  req.san_dns = {cn};
+  req.not_after = 2524607999;
+  req.key = id.key->public_key();
+  id.chain = {ca().issue(req, rng())};
+  return id;
+}
+
+/// Accumulates CPU time spent inside one party's calls.
+class PartyTimer {
+ public:
+  template <typename F>
+  auto time(F&& f) {
+    const auto start = std::chrono::steady_clock::now();
+    if constexpr (std::is_void_v<decltype(f())>) {
+      f();
+      total_ += std::chrono::steady_clock::now() - start;
+    } else {
+      auto result = f();
+      total_ += std::chrono::steady_clock::now() - start;
+      return result;
+    }
+  }
+
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(total_).count();
+  }
+  void reset() { total_ = {}; }
+
+ private:
+  std::chrono::steady_clock::duration total_{};
+};
+
+struct Stats {
+  double mean = 0;
+  double ci95 = 0;  // half-width of the 95% confidence interval of the mean
+};
+
+inline Stats stats_of(const std::vector<double>& samples) {
+  Stats s;
+  if (samples.empty()) return s;
+  double sum = 0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() < 2) return s;
+  double var = 0;
+  for (const double v : samples) var += (v - s.mean) * (v - s.mean);
+  var /= static_cast<double>(samples.size() - 1);
+  s.ci95 = 1.96 * std::sqrt(var / static_cast<double>(samples.size()));
+  return s;
+}
+
+/// Trials from argv ("--trials N"), with a default.
+inline int trials_arg(int argc, char** argv, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trials") return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace mbtls::bench

@@ -1,0 +1,56 @@
+// Table 1 — Threats and Defenses.
+//
+// Reproduces the paper's threat/defense matrix by *executing* each attack
+// against four protocol configurations (naive key-share TLS, split TLS,
+// mbTLS without SGX, and full mbTLS with SGX-protected middleboxes) and
+// reporting whether the attack succeeded. See src/attacks/attacks.h for the
+// concrete adversary implementations.
+#include <cstdio>
+#include <map>
+
+#include "attacks/attacks.h"
+
+int main() {
+  using namespace mbtls::attacks;
+  std::printf("=== Table 1: threats and defenses (executed attack matrix) ===\n");
+  std::printf("Cell: 'defended' = attack failed; 'COMPROMISED' = attack succeeded.\n\n");
+
+  const auto results = run_all();
+
+  // Group rows by threat, columns by protocol.
+  std::vector<std::string> threat_order;
+  std::map<std::string, std::map<Protocol, bool>> matrix;
+  std::map<std::string, std::string> property_of;
+  for (const auto& r : results) {
+    if (!matrix.count(r.threat)) threat_order.push_back(r.threat);
+    matrix[r.threat][r.protocol] = r.attack_succeeded;
+    property_of[r.threat] = r.property;
+  }
+
+  const Protocol cols[] = {Protocol::kNaiveKeyShare, Protocol::kSplitTls, Protocol::kMbtlsNoSgx,
+                           Protocol::kMbtls};
+  std::printf("%-52s %-5s", "threat", "prop");
+  for (const auto p : cols) std::printf(" | %-19s", to_string(p));
+  std::printf("\n");
+  for (std::size_t i = 0; i < 52 + 6 + 4 * 22; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& threat : threat_order) {
+    std::printf("%-52.52s %-5s", threat.c_str(), property_of[threat].c_str());
+    for (const auto p : cols) {
+      const auto it = matrix[threat].find(p);
+      if (it == matrix[threat].end()) {
+        std::printf(" | %-19s", "-");
+      } else {
+        std::printf(" | %-19s", it->second ? "COMPROMISED" : "defended");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper expectation: mbTLS+SGX defends every Table-1 threat; the naive design\n"
+      "leaks middlebox modifications (P1C) and permits skips (P4); any design without\n"
+      "a secure execution environment exposes keys to the infrastructure provider;\n"
+      "split TLS cannot let the client authenticate the real server (P3A, [23]).\n"
+      "The cache-poisoning row is the documented §4.2 limitation of mbTLS itself.\n");
+  return 0;
+}

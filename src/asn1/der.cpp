@@ -1,0 +1,284 @@
+#include <cstdio>
+#include "asn1/der.h"
+
+#include <stdexcept>
+
+namespace mbtls::asn1 {
+
+namespace {
+
+void encode_length(Bytes& out, std::size_t len) {
+  if (len < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(len));
+    return;
+  }
+  Bytes len_bytes;
+  std::size_t v = len;
+  while (v) {
+    len_bytes.insert(len_bytes.begin(), static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | len_bytes.size()));
+  append(out, len_bytes);
+}
+
+}  // namespace
+
+Bytes tlv(std::uint8_t tag, ByteView content) {
+  Bytes out;
+  out.push_back(tag);
+  encode_length(out, content.size());
+  append(out, content);
+  return out;
+}
+
+Bytes encode_sequence(std::initializer_list<ByteView> elements) {
+  Bytes body;
+  for (auto e : elements) append(body, e);
+  return tlv(Tag::kSequence, body);
+}
+
+Bytes encode_set(std::initializer_list<ByteView> elements) {
+  Bytes body;
+  for (auto e : elements) append(body, e);
+  return tlv(Tag::kSet, body);
+}
+
+Bytes encode_integer(const bn::BigInt& v) {
+  Bytes mag = v.to_bytes();
+  if (mag.empty()) mag.push_back(0);
+  // DER INTEGER is two's complement; prepend 0x00 when the top bit is set so
+  // the (non-negative) value is not read as negative.
+  if (mag[0] & 0x80) mag.insert(mag.begin(), 0);
+  return tlv(Tag::kInteger, mag);
+}
+
+Bytes encode_integer(std::int64_t v) {
+  if (v < 0) throw std::invalid_argument("negative INTEGERs not supported");
+  return encode_integer(bn::BigInt(static_cast<std::uint64_t>(v)));
+}
+
+Bytes encode_bit_string(ByteView bits) {
+  Bytes body;
+  body.push_back(0);  // zero unused bits
+  append(body, bits);
+  return tlv(Tag::kBitString, body);
+}
+
+Bytes encode_octet_string(ByteView data) { return tlv(Tag::kOctetString, data); }
+
+Bytes encode_null() { return tlv(Tag::kNull, {}); }
+
+Bytes encode_boolean(bool v) {
+  const std::uint8_t body = v ? 0xff : 0x00;
+  return tlv(Tag::kBoolean, ByteView(&body, 1));
+}
+
+Bytes encode_oid(std::string_view dotted) {
+  std::vector<std::uint64_t> arcs;
+  std::uint64_t cur = 0;
+  bool have_digit = false;
+  for (char c : dotted) {
+    if (c == '.') {
+      if (!have_digit) throw std::invalid_argument("bad OID");
+      arcs.push_back(cur);
+      cur = 0;
+      have_digit = false;
+    } else if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<std::uint64_t>(c - '0');
+      have_digit = true;
+    } else {
+      throw std::invalid_argument("bad OID character");
+    }
+  }
+  if (!have_digit) throw std::invalid_argument("bad OID");
+  arcs.push_back(cur);
+  if (arcs.size() < 2 || arcs[0] > 2 || (arcs[0] < 2 && arcs[1] >= 40))
+    throw std::invalid_argument("bad OID arcs");
+  Bytes body;
+  auto push_base128 = [&](std::uint64_t v) {
+    Bytes tmp;
+    tmp.push_back(static_cast<std::uint8_t>(v & 0x7f));
+    v >>= 7;
+    while (v) {
+      tmp.insert(tmp.begin(), static_cast<std::uint8_t>(0x80 | (v & 0x7f)));
+      v >>= 7;
+    }
+    append(body, tmp);
+  };
+  push_base128(arcs[0] * 40 + arcs[1]);
+  for (std::size_t i = 2; i < arcs.size(); ++i) push_base128(arcs[i]);
+  return tlv(Tag::kOid, body);
+}
+
+Bytes encode_utf8_string(std::string_view s) { return tlv(Tag::kUtf8String, to_bytes(s)); }
+
+Bytes encode_printable_string(std::string_view s) {
+  return tlv(Tag::kPrintableString, to_bytes(s));
+}
+
+namespace {
+// Civil-from-days (Howard Hinnant's algorithm) to format UTCTime.
+struct Civil {
+  int year, month, day;
+};
+Civil civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const std::uint64_t doe = static_cast<std::uint64_t>(z - era * 146097);
+  const std::uint64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const std::uint64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const std::uint64_t mp = (5 * doy + 2) / 153;
+  const std::uint64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const std::uint64_t m = mp < 10 ? mp + 3 : mp - 9;
+  return {static_cast<int>(y + (m <= 2)), static_cast<int>(m), static_cast<int>(d)};
+}
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const std::uint64_t yoe = static_cast<std::uint64_t>(y - era * 400);
+  const std::uint64_t doy =
+      static_cast<std::uint64_t>((153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1);
+  const std::uint64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+}  // namespace
+
+Bytes encode_utc_time(std::int64_t unix_seconds) {
+  const std::int64_t days = unix_seconds >= 0 ? unix_seconds / 86400
+                                              : (unix_seconds - 86399) / 86400;
+  std::int64_t secs = unix_seconds - days * 86400;
+  const Civil c = civil_from_days(days);
+  if (c.year < 1950 || c.year > 2049)
+    throw std::invalid_argument("UTCTime only covers 1950-2049");
+  char buf[32];
+  const int yy = c.year % 100;
+  std::snprintf(buf, sizeof(buf), "%02d%02d%02d%02d%02d%02dZ", yy, c.month, c.day,
+                static_cast<int>(secs / 3600), static_cast<int>((secs / 60) % 60),
+                static_cast<int>(secs % 60));
+  return tlv(Tag::kUtcTime, to_bytes(std::string_view(buf, 13)));
+}
+
+Bytes encode_context(unsigned n, ByteView content) { return tlv(context_tag(n), content); }
+
+// ------------------------------------------------------------------ parser
+
+Element Parser::any() {
+  const std::uint8_t tag = r_.u8();
+  std::size_t len;
+  const std::uint8_t first = r_.u8();
+  if (first < 0x80) {
+    len = first;
+  } else {
+    const int n = first & 0x7f;
+    if (n == 0 || n > 4) throw DecodeError("unsupported DER length");
+    len = 0;
+    for (int i = 0; i < n; ++i) len = (len << 8) | r_.u8();
+    if (len < 0x80) throw DecodeError("non-minimal DER length");
+  }
+  return Element{tag, r_.bytes(len)};
+}
+
+Element Parser::expect(Tag tag) { return expect(static_cast<std::uint8_t>(tag)); }
+
+Element Parser::expect(std::uint8_t tag) {
+  const Element e = any();
+  if (e.tag != tag) throw DecodeError("unexpected DER tag");
+  return e;
+}
+
+bn::BigInt Parser::integer() {
+  const Element e = expect(Tag::kInteger);
+  if (e.content.empty()) throw DecodeError("empty INTEGER");
+  if (e.content[0] & 0x80) throw DecodeError("negative INTEGERs not supported");
+  return bn::BigInt::from_bytes(e.content);
+}
+
+std::int64_t Parser::small_integer() {
+  const bn::BigInt v = integer();
+  if (v.bit_length() > 62) throw DecodeError("INTEGER too large");
+  std::int64_t out = 0;
+  for (const auto b : v.to_bytes()) out = (out << 8) | b;
+  return out;
+}
+
+Bytes Parser::bit_string() {
+  const Element e = expect(Tag::kBitString);
+  if (e.content.empty() || e.content[0] != 0)
+    throw DecodeError("BIT STRING with unused bits not supported");
+  return to_bytes(e.content.subspan(1));
+}
+
+ByteView Parser::octet_string() { return expect(Tag::kOctetString).content; }
+
+std::string Parser::oid() {
+  const Element e = expect(Tag::kOid);
+  if (e.content.empty()) throw DecodeError("empty OID");
+  std::string out;
+  std::size_t i = 0;
+  std::uint64_t first = 0;
+  // First subidentifier encodes the first two arcs.
+  while (i < e.content.size()) {
+    first = (first << 7) | (e.content[i] & 0x7f);
+    if (!(e.content[i++] & 0x80)) break;
+  }
+  const std::uint64_t arc0 = first >= 80 ? 2 : first / 40;
+  const std::uint64_t arc1 = first - arc0 * 40;
+  out = std::to_string(arc0) + "." + std::to_string(arc1);
+  while (i < e.content.size()) {
+    std::uint64_t v = 0;
+    for (;;) {
+      if (i >= e.content.size()) throw DecodeError("truncated OID");
+      v = (v << 7) | (e.content[i] & 0x7f);
+      if (!(e.content[i++] & 0x80)) break;
+    }
+    out += "." + std::to_string(v);
+  }
+  return out;
+}
+
+std::string Parser::string() {
+  const Element e = any();
+  if (!e.is(Tag::kUtf8String) && !e.is(Tag::kPrintableString))
+    throw DecodeError("expected string type");
+  return to_string(e.content);
+}
+
+std::int64_t Parser::utc_time() {
+  const Element e = expect(Tag::kUtcTime);
+  if (e.content.size() != 13 || e.content[12] != 'Z') throw DecodeError("bad UTCTime");
+  auto dd = [&](std::size_t i) {
+    const char a = static_cast<char>(e.content[i]);
+    const char b = static_cast<char>(e.content[i + 1]);
+    if (a < '0' || a > '9' || b < '0' || b > '9') throw DecodeError("bad UTCTime digit");
+    return (a - '0') * 10 + (b - '0');
+  };
+  const int yy = dd(0);
+  const int year = yy >= 50 ? 1900 + yy : 2000 + yy;
+  const std::int64_t days = days_from_civil(year, dd(2), dd(4));
+  return days * 86400 + dd(6) * 3600 + dd(8) * 60 + dd(10);
+}
+
+bool Parser::boolean() {
+  const Element e = expect(Tag::kBoolean);
+  if (e.content.size() != 1) throw DecodeError("bad BOOLEAN");
+  return e.content[0] != 0;
+}
+
+void Parser::null() {
+  const Element e = expect(Tag::kNull);
+  if (!e.content.empty()) throw DecodeError("bad NULL");
+}
+
+Parser Parser::sequence() { return Parser(expect(Tag::kSequence).content); }
+Parser Parser::set() { return Parser(expect(Tag::kSet).content); }
+Parser Parser::context(unsigned n) { return Parser(expect(context_tag(n)).content); }
+
+std::uint8_t Parser::peek_tag() const {
+  Reader copy = r_;
+  return copy.u8();
+}
+
+}  // namespace mbtls::asn1

@@ -1,0 +1,114 @@
+// DER (Distinguished Encoding Rules) subset — the encodings X.509 needs:
+// SEQUENCE/SET, INTEGER, BIT STRING, OCTET STRING, OBJECT IDENTIFIER,
+// BOOLEAN, NULL, UTF8String/PrintableString, UTCTime/GeneralizedTime, and
+// context-specific constructed tags.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bignum/bignum.h"
+#include "util/bytes.h"
+#include "util/reader.h"
+
+namespace mbtls::asn1 {
+
+enum class Tag : std::uint8_t {
+  kBoolean = 0x01,
+  kInteger = 0x02,
+  kBitString = 0x03,
+  kOctetString = 0x04,
+  kNull = 0x05,
+  kOid = 0x06,
+  kUtf8String = 0x0c,
+  kPrintableString = 0x13,
+  kUtcTime = 0x17,
+  kGeneralizedTime = 0x18,
+  kSequence = 0x30,
+  kSet = 0x31,
+};
+
+/// Returns the context-specific constructed tag byte [n].
+constexpr std::uint8_t context_tag(unsigned n) {
+  return static_cast<std::uint8_t>(0xa0 | n);
+}
+
+// ------------------------------------------------------------------ encode
+
+/// Wrap `content` in a TLV with the given tag byte.
+Bytes tlv(std::uint8_t tag, ByteView content);
+inline Bytes tlv(Tag tag, ByteView content) { return tlv(static_cast<std::uint8_t>(tag), content); }
+
+Bytes encode_sequence(std::initializer_list<ByteView> elements);
+Bytes encode_set(std::initializer_list<ByteView> elements);
+Bytes encode_integer(const bn::BigInt& v);
+Bytes encode_integer(std::int64_t v);
+/// BIT STRING with zero unused bits (the only form certificates need).
+Bytes encode_bit_string(ByteView bits);
+Bytes encode_octet_string(ByteView data);
+Bytes encode_null();
+Bytes encode_boolean(bool v);
+/// Encode dotted OID text, e.g. "1.2.840.10045.2.1".
+Bytes encode_oid(std::string_view dotted);
+Bytes encode_utf8_string(std::string_view s);
+Bytes encode_printable_string(std::string_view s);
+/// UTCTime from a Unix timestamp (YYMMDDHHMMSSZ). Year must be in 1950-2049.
+Bytes encode_utc_time(std::int64_t unix_seconds);
+/// Context-specific constructed wrapper [n] { content }.
+Bytes encode_context(unsigned n, ByteView content);
+
+// ------------------------------------------------------------------ decode
+
+/// A parsed TLV element. `content` aliases the input buffer.
+struct Element {
+  std::uint8_t tag = 0;
+  ByteView content;
+
+  bool is(Tag t) const { return tag == static_cast<std::uint8_t>(t); }
+};
+
+/// Sequential DER parser over a byte view. Throws DecodeError on malformed
+/// or non-minimal encodings.
+class Parser {
+ public:
+  explicit Parser(ByteView data) : r_(data) {}
+  // The parser only *views* its input; constructing one from a temporary
+  // buffer would dangle, so forbid it at compile time.
+  explicit Parser(Bytes&&) = delete;
+
+  bool empty() const { return r_.empty(); }
+
+  /// Read the next TLV element of any tag.
+  Element any();
+  /// Read the next element, requiring the given tag.
+  Element expect(Tag tag);
+  Element expect(std::uint8_t tag);
+
+  /// Convenience typed readers.
+  bn::BigInt integer();
+  std::int64_t small_integer();  // throws if it does not fit
+  Bytes bit_string();            // strips the unused-bits octet (must be 0)
+  ByteView octet_string();
+  std::string oid();             // returns dotted text
+  std::string string();          // UTF8String or PrintableString
+  std::int64_t utc_time();       // Unix seconds
+  bool boolean();
+  void null();
+
+  /// Sub-parser over a SEQUENCE / SET / context tag body.
+  Parser sequence();
+  Parser set();
+  Parser context(unsigned n);
+
+  /// Peek at the next tag without consuming.
+  std::uint8_t peek_tag() const;
+
+  void expect_end() const { r_.expect_end(); }
+
+ private:
+  Reader r_;
+};
+
+}  // namespace mbtls::asn1

@@ -1,0 +1,81 @@
+// Executable adversary scenarios for every Table-1 threat (plus the §4.2
+// cache-poisoning discussion). Each attack builds a real session over
+// in-memory transport with the attacker interposed at the stated vantage
+// point, runs the attack code, and reports whether the attack succeeded.
+//
+// bench/bench_table1_threats regenerates the paper's Table 1 from these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mbtls::attacks {
+
+/// The protocol configuration under attack.
+enum class Protocol {
+  kNaiveKeyShare,  // Figure 1: e2e TLS + session key handed to the middlebox
+  kSplitTls,       // interception with a custom root CA
+  kMbtlsNoSgx,     // mbTLS on trusted middlebox hardware (no enclave)
+  kMbtls,          // full mbTLS with an SGX-protected middlebox
+};
+
+const char* to_string(Protocol p);
+
+struct AttackResult {
+  std::string threat;     // Table-1 row
+  std::string property;   // P1A / P1B / P1C / P2 / P3A / P3B / P4
+  Protocol protocol;
+  bool attack_succeeded;  // true = the adversary got what it wanted
+  std::string detail;
+};
+
+// --- Individual attacks (each returns true when the ATTACK succeeds) ------
+
+/// Third party reads application plaintext off the wire (P1A, network).
+bool wire_eavesdrop(Protocol protocol);
+
+/// The middlebox infrastructure provider reads session keys out of the
+/// middlebox machine's memory (P1A/P2, memory).
+bool mip_reads_keys_from_memory(Protocol protocol);
+
+/// Third party compares records entering/leaving the middlebox to learn
+/// whether it modified them (P1C).
+bool record_compare(Protocol protocol);
+
+/// Forward secrecy (P1B): the adversary records a session's traffic, later
+/// obtains the server's long-term private key, and tries to decrypt the
+/// recording using every key it can derive from {long-term key, transcript}.
+/// With (EC)DHE key exchange no such derivation exists; the executable
+/// attack tries the candidate keys and fails.
+bool decrypt_recording_with_leaked_key(Protocol protocol);
+
+/// Third party modifies a data record on the wire undetected (P2).
+bool modify_on_wire(Protocol protocol);
+
+/// Third party replays a captured data record undetected (P2).
+bool replay_on_wire(Protocol protocol);
+
+/// Third party makes a record skip the middlebox (delivers a record captured
+/// before the middlebox directly to the far endpoint) undetected (P4).
+bool skip_middlebox(Protocol protocol);
+
+/// The MIP substitutes its own middlebox software for the MSP's (P3B).
+bool run_wrong_middlebox_code(Protocol protocol);
+
+/// Replaying an old attestation quote into a new handshake (P3B freshness).
+bool replay_attestation();
+
+/// An impostor (without the server's key) impersonates the server to the
+/// client (P3A). Under split TLS the client cannot detect this when the
+/// proxy skips upstream verification — the paper's [23] finding.
+bool impersonate_server(Protocol protocol);
+
+/// §4.2 "Middlebox State Poisoning": a malicious client uses its knowledge
+/// of all client-side hop keys to poison a shared web cache. Succeeds by
+/// design under mbTLS — the paper documents this limitation.
+bool cache_poisoning();
+
+/// Run the full Table-1 matrix.
+std::vector<AttackResult> run_all();
+
+}  // namespace mbtls::attacks

@@ -1,0 +1,172 @@
+#include "baselines/mctls.h"
+
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+
+namespace mbtls::baselines {
+
+namespace {
+constexpr std::size_t kMacLen = 32;
+
+Bytes mac_over(ByteView key, std::uint64_t seq, ByteView payload) {
+  Bytes input;
+  put_u64(input, seq);
+  append(input, payload);
+  return crypto::hmac(crypto::HashAlgo::kSha256, key, input);
+}
+}  // namespace
+
+McContextKeys derive_context_keys(ByteView client_share, ByteView server_share) {
+  const Bytes ikm = concat({client_share, server_share});
+  McContextKeys keys;
+  keys.reader_key = crypto::hkdf(crypto::HashAlgo::kSha256, {}, ikm,
+                                 to_bytes(std::string_view("mctls reader")), 32);
+  keys.writer_mac = crypto::hkdf(crypto::HashAlgo::kSha256, {}, ikm,
+                                 to_bytes(std::string_view("mctls writer")), 32);
+  keys.endpoint_mac = crypto::hkdf(crypto::HashAlgo::kSha256, {}, ikm,
+                                   to_bytes(std::string_view("mctls endpoint")), 32);
+  return keys;
+}
+
+McPartyKeys keys_for(const McContextKeys& keys, McPermission permission, bool is_endpoint) {
+  McPartyKeys party;
+  party.permission = is_endpoint ? McPermission::kReadWrite : permission;
+  if (permission >= McPermission::kRead || is_endpoint) party.reader_key = keys.reader_key;
+  if (permission == McPermission::kReadWrite || is_endpoint) party.writer_mac = keys.writer_mac;
+  if (is_endpoint) party.endpoint_mac = keys.endpoint_mac;
+  return party;
+}
+
+McRecordLayer::McRecordLayer(McPartyKeys keys, std::uint64_t seq)
+    : keys_(std::move(keys)), seal_seq_(seq), open_seq_(seq) {
+  if (!keys_.reader_key.empty()) aead_.emplace(keys_.reader_key);
+}
+
+Bytes McRecordLayer::seal(ByteView payload) {
+  if (keys_.writer_mac.empty())
+    throw std::logic_error("mcTLS: sealing requires at least write permission");
+  Bytes inner = to_bytes(payload);
+  append(inner, mac_over(keys_.writer_mac, seal_seq_, payload));
+  // Parties without the endpoint key carry the endpoint MAC *through* — but
+  // when originating (this API), a non-endpoint writer stamps zeros, which
+  // endpoints then read as "modified by writer".
+  if (!keys_.endpoint_mac.empty()) {
+    append(inner, mac_over(keys_.endpoint_mac, seal_seq_, payload));
+  } else {
+    inner.resize(inner.size() + kMacLen, 0);
+  }
+  Bytes iv(4, 0);
+  put_u64(iv, seal_seq_);
+  ++seal_seq_;
+  return aead_->seal(iv, {}, inner);
+}
+
+std::optional<McRecordLayer::Opened> McRecordLayer::open(ByteView record) {
+  if (!aead_) return std::nullopt;
+  Bytes iv(4, 0);
+  put_u64(iv, open_seq_);
+  auto inner = aead_->open(iv, {}, record);
+  if (!inner || inner->size() < 2 * kMacLen) return std::nullopt;
+  const std::size_t payload_len = inner->size() - 2 * kMacLen;
+  Opened out;
+  out.payload.assign(inner->begin(), inner->begin() + static_cast<std::ptrdiff_t>(payload_len));
+  const ByteView writer_tag(inner->data() + payload_len, kMacLen);
+  const ByteView endpoint_tag(inner->data() + payload_len + kMacLen, kMacLen);
+
+  out.verdict = McVerdict::kUntouched;
+  if (!keys_.writer_mac.empty()) {
+    const Bytes expected_writer = mac_over(keys_.writer_mac, open_seq_, out.payload);
+    if (!constant_time_equal(expected_writer, writer_tag)) {
+      out.verdict = McVerdict::kIllegallyModified;
+      ++open_seq_;
+      return out;
+    }
+  }
+  if (!keys_.endpoint_mac.empty()) {
+    const Bytes expected_endpoint = mac_over(keys_.endpoint_mac, open_seq_, out.payload);
+    if (!constant_time_equal(expected_endpoint, endpoint_tag)) {
+      out.verdict = McVerdict::kModifiedByWriter;
+    }
+  }
+  ++open_seq_;
+  return out;
+}
+
+McMiddlebox::McMiddlebox(McPartyKeys keys, Processor processor)
+    : layer_(std::move(keys)), processor_(std::move(processor)) {}
+
+Bytes McMiddlebox::process(ByteView record) {
+  const auto opened = layer_.open(record);
+  if (!opened) return to_bytes(record);  // no read access: pass through opaquely
+  last_seen_ = opened->payload;
+  if (layer_.permission() != McPermission::kReadWrite || !processor_) {
+    // Read-only (or no processor): forward the ORIGINAL bytes. Re-sealing
+    // without the writer key would be detected; see the tests, where a
+    // malicious reader tries exactly that.
+    return to_bytes(record);
+  }
+  const Bytes transformed = processor_(opened->payload);
+  return layer_.seal(transformed);
+}
+
+McSessionSetup mctls_setup(const std::vector<McPermission>& middlebox_permissions,
+                           const x509::CertificateAuthority& ca, crypto::Drbg& rng) {
+  // Both endpoints generate contributions. These travel to each middlebox
+  // over a real TLS session per (endpoint, middlebox) pair — run here over
+  // in-memory pipes. A middlebox the server does not keyshare with gets
+  // nothing, however much the client wants it in: that is the §2.2
+  // "Authorization: both endpoints" property (and the legacy-interop cost).
+  const Bytes client_share = rng.bytes(32);
+  const Bytes server_share = rng.bytes(32);
+
+  McSessionSetup setup;
+  setup.context = derive_context_keys(client_share, server_share);
+
+  // Issue one middlebox identity for the secondary sessions.
+  auto mbox_key = std::make_shared<x509::PrivateKey>(
+      x509::PrivateKey::generate(x509::KeyType::kEcdsaP256, rng));
+  x509::CertRequest req;
+  req.subject_cn = "mctls-mbox.example";
+  req.not_after = 2524607999;
+  req.key = mbox_key->public_key();
+  const auto mbox_cert = ca.issue(req, rng);
+
+  for (std::size_t i = 0; i < middlebox_permissions.size(); ++i) {
+    // Two secondary TLS sessions deliver the two shares.
+    Bytes received_client_share, received_server_share;
+    for (int leg = 0; leg < 2; ++leg) {
+      tls::Config ccfg;
+      ccfg.is_client = true;
+      ccfg.trust_anchors = {ca.root()};
+      ccfg.server_name = "mctls-mbox.example";
+      ccfg.rng_label = "mctls-share";
+      ccfg.rng_seed = i * 2 + static_cast<std::size_t>(leg);
+      tls::Engine endpoint(ccfg);
+      tls::Config mcfg;
+      mcfg.is_client = false;
+      mcfg.private_key = mbox_key;
+      mcfg.certificate_chain = {mbox_cert};
+      mcfg.rng_label = "mctls-mbox";
+      mcfg.rng_seed = 1000 + i * 2 + static_cast<std::size_t>(leg);
+      tls::Engine mbox(mcfg);
+      endpoint.start();
+      for (int p = 0; p < 20; ++p) {
+        const Bytes a = endpoint.take_output();
+        const Bytes b = mbox.take_output();
+        if (a.empty() && b.empty()) break;
+        if (!a.empty()) mbox.feed(a);
+        if (!b.empty()) endpoint.feed(b);
+      }
+      endpoint.send(leg == 0 ? client_share : server_share);
+      mbox.feed(endpoint.take_output());
+      (leg == 0 ? received_client_share : received_server_share) = mbox.take_plaintext();
+    }
+    const McContextKeys derived =
+        derive_context_keys(received_client_share, received_server_share);
+    setup.middleboxes.push_back(
+        keys_for(derived, middlebox_permissions[i], /*is_endpoint=*/false));
+  }
+  return setup;
+}
+
+}  // namespace mbtls::baselines

@@ -1,0 +1,127 @@
+// mcTLS-style baseline (Naylor et al., SIGCOMM'15), as characterized in the
+// paper's §2.2 design space: endpoints grant middleboxes *partial* access —
+// read-only or read-write — to the data stream, enforced cryptographically
+// with layered keys and a stack of MACs per record.
+//
+// What this gives that mbTLS does not: a read-only middlebox provably
+// cannot modify data (endpoints detect it). What it costs, per §2.2: both
+// endpoints must speak the protocol (no legacy interop — enforced here by
+// construction: context keys are derived from key-material contributions of
+// BOTH endpoints), and endpoints cannot tell *which* writer modified data.
+//
+// Implementation notes. One access "context" spans the whole stream (the
+// real mcTLS allows several; one suffices for the design-space experiments).
+// Per context there are three key layers:
+//   readers   : AES-GCM key (+ its implicit integrity) — anyone with read
+//               access can decrypt and re-encrypt,
+//   writers   : HMAC key over the plaintext — only writers can produce it,
+//   endpoints : HMAC key over the plaintext — only endpoints can produce it.
+// A record is AES-GCM(payload || writer_mac || endpoint_mac). An endpoint
+// accepting a record learns one of three things: untouched (both MACs
+// verify), legitimately modified by a writer (writer MAC verifies, endpoint
+// MAC does not), or ILLEGALLY modified (writer MAC fails — e.g. a reader
+// tried to write). Key shares travel to middleboxes over real secondary TLS
+// sessions, one from each endpoint, mirroring mcTLS's requirement that a
+// middlebox gains access only if both endpoints agree.
+#pragma once
+
+#include <optional>
+
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "tls/engine.h"
+
+namespace mbtls::baselines {
+
+enum class McPermission : std::uint8_t { kNone = 0, kRead = 1, kReadWrite = 2 };
+
+/// The derived key layers for one context.
+struct McContextKeys {
+  Bytes reader_key;    // 32 bytes, AES-256-GCM
+  Bytes writer_mac;    // 32 bytes, HMAC-SHA-256
+  Bytes endpoint_mac;  // 32 bytes
+};
+
+/// Derive the context keys from both endpoints' contributions. Either share
+/// alone yields nothing (tested): the HKDF input is the concatenation.
+McContextKeys derive_context_keys(ByteView client_share, ByteView server_share);
+
+/// The key subset a party holds, by permission.
+struct McPartyKeys {
+  McPermission permission = McPermission::kNone;
+  Bytes reader_key;
+  Bytes writer_mac;    // empty unless kReadWrite (or endpoint)
+  Bytes endpoint_mac;  // empty unless endpoint
+};
+
+McPartyKeys keys_for(const McContextKeys& keys, McPermission permission, bool is_endpoint);
+
+/// What an endpoint learns when opening a record (§2.2: mcTLS's extra
+/// signal that mbTLS deliberately trades away).
+enum class McVerdict {
+  kUntouched,           // endpoint MAC verified
+  kModifiedByWriter,    // writer MAC verified, endpoint MAC did not
+  kIllegallyModified,   // writer MAC failed: a reader or attacker wrote
+  kAuthFailed,          // outer decryption failed (wrong keys / corrupted)
+};
+
+/// Record codec. Sequence numbers are per-sender-direction like TLS.
+class McRecordLayer {
+ public:
+  McRecordLayer(McPartyKeys keys, std::uint64_t seq = 0);
+
+  /// Endpoint/writer: seal payload with fresh MACs (writers update the
+  /// writer MAC; only endpoints can mint the endpoint MAC — sealing with
+  /// reader-only keys throws).
+  Bytes seal(ByteView payload);
+
+  struct Opened {
+    Bytes payload;
+    McVerdict verdict;
+  };
+  /// Open a record; verdict depends on which MAC layers this party holds.
+  std::optional<Opened> open(ByteView record);
+
+  McPermission permission() const { return keys_.permission; }
+
+ private:
+  McPartyKeys keys_;
+  std::optional<crypto::AesGcm> aead_;  // absent without read permission
+  std::uint64_t seal_seq_;
+  std::uint64_t open_seq_;
+};
+
+/// A middlebox in an mcTLS session: holds keys per its permission and
+/// re-seals records it is allowed to change.
+class McMiddlebox {
+ public:
+  using Processor = std::function<Bytes(ByteView)>;
+
+  McMiddlebox(McPartyKeys keys, Processor processor);
+
+  /// Process one record in the client->server direction. Read-only boxes
+  /// can observe (`last_seen`) but any modification they attempt is
+  /// detectable; this API hands back the (re-sealed or original) record.
+  Bytes process(ByteView record);
+
+  const Bytes& last_seen() const { return last_seen_; }
+
+ private:
+  McRecordLayer layer_;
+  Processor processor_;
+  Bytes last_seen_;
+};
+
+/// Runs the mcTLS context-key setup: endpoints generate shares and deliver
+/// them to each middlebox over REAL secondary TLS sessions (one from the
+/// client, one from the server — both endpoints must participate, which is
+/// exactly why mcTLS cannot include a legacy endpoint).
+struct McSessionSetup {
+  McContextKeys context;                 // full keys (endpoint view)
+  std::vector<McPartyKeys> middleboxes;  // per-middlebox key subsets
+};
+
+McSessionSetup mctls_setup(const std::vector<McPermission>& middlebox_permissions,
+                           const x509::CertificateAuthority& ca, crypto::Drbg& rng);
+
+}  // namespace mbtls::baselines

@@ -1,0 +1,358 @@
+#include "bignum/bignum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hex.h"
+
+namespace mbtls::bn {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_limbs(std::vector<u64> limbs) {
+  BigInt r;
+  r.limbs_ = std::move(limbs);
+  r.trim();
+  return r;
+}
+
+BigInt::BigInt(u64 v) {
+  if (v) limbs_.push_back(v);
+}
+
+BigInt BigInt::from_bytes(ByteView be) {
+  BigInt r;
+  r.limbs_.assign((be.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    // byte i (from the end) belongs to limb i/8, shifted by (i%8)*8
+    const std::size_t from_end = be.size() - 1 - i;
+    r.limbs_[i / 8] |= static_cast<u64>(be[from_end]) << ((i % 8) * 8);
+  }
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2) padded.insert(padded.begin(), '0');
+  return from_bytes(hex_decode(padded));
+}
+
+Bytes BigInt::to_bytes(std::size_t min_len) const {
+  const std::size_t n = byte_length();
+  const std::size_t len = std::max(n, min_len);
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[len - 1 - i] = static_cast<std::uint8_t>(limbs_[i / 8] >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = hex_encode(to_bytes());
+  const auto pos = s.find_first_not_of('0');
+  return s.substr(pos);
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const u64 top = limbs_.back();
+  return (limbs_.size() - 1) * 64 + (64 - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+int BigInt::compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size())
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  std::vector<u64> out(std::max(limbs_.size(), o.limbs_.size()) + 1, 0);
+  u128 carry = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    u128 sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out[i] = static_cast<u64>(sum);
+    carry = sum >> 64;
+  }
+  return from_limbs(std::move(out));
+}
+
+BigInt BigInt::operator-(const BigInt& o) const {
+  if (*this < o) throw std::underflow_error("BigInt subtraction underflow");
+  std::vector<u64> out(limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u128 rhs = static_cast<u128>(i < o.limbs_.size() ? o.limbs_[i] : 0) +
+                     static_cast<u128>(borrow);
+    if (static_cast<u128>(limbs_[i]) >= rhs) {
+      out[i] = static_cast<u64>(limbs_[i] - static_cast<u64>(rhs));
+      borrow = 0;
+    } else {
+      out[i] = static_cast<u64>((static_cast<u128>(1) << 64) + limbs_[i] - rhs);
+      borrow = 1;
+    }
+  }
+  return from_limbs(std::move(out));
+}
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return BigInt();
+  std::vector<u64> out(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(limbs_[i]) * o.limbs_[j] + out[i + j] + carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out[i + o.limbs_.size()] += carry;
+  }
+  return from_limbs(std::move(out));
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero()) return BigInt();
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  std::vector<u64> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift) out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  return from_limbs(std::move(out));
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  const std::size_t bit_shift = bits % 64;
+  std::vector<u64> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size())
+      out[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+  }
+  return from_limbs(std::move(out));
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& divisor) const {
+  if (divisor.is_zero()) throw std::domain_error("BigInt division by zero");
+  if (*this < divisor) return {BigInt(), *this};
+  if (divisor.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const u64 d = divisor.limbs_[0];
+    std::vector<u64> q(limbs_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const u128 cur = (rem << 64) | limbs_[i];
+      q[i] = static_cast<u64>(cur / d);
+      rem = cur % d;
+    }
+    return {from_limbs(std::move(q)), BigInt(static_cast<u64>(rem))};
+  }
+  // Shift-and-subtract long division, one bit at a time over the quotient
+  // bit width. O(bits x limbs) which is adequate at RSA sizes because hot
+  // paths use Montgomery arithmetic instead.
+  const std::size_t shift = bit_length() - divisor.bit_length();
+  BigInt remainder = *this;
+  BigInt q;
+  q.limbs_.assign(shift / 64 + 1, 0);
+  BigInt d = divisor << shift;
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (remainder >= d) {
+      remainder = remainder - d;
+      q.limbs_[i / 64] |= (static_cast<u64>(1) << (i % 64));
+    }
+    d = d >> 1;
+  }
+  q.trim();
+  return {q, remainder};
+}
+
+namespace {
+
+// Montgomery context for an odd modulus N: R = 2^(64*k), k = limbs in N.
+struct MontCtx {
+  std::vector<u64> n;   // modulus limbs
+  u64 n0inv;            // -N^-1 mod 2^64
+  BigInt r2;            // R^2 mod N
+
+  explicit MontCtx(const BigInt& modulus) : n(modulus.limbs()) {
+    // Newton iteration for the 64-bit inverse of n[0].
+    const u64 n0 = n[0];
+    u64 inv = 1;
+    for (int i = 0; i < 6; ++i) inv *= 2 - n0 * inv;  // inv = n0^-1 mod 2^64
+    n0inv = ~inv + 1;                                  // -inv
+    const std::size_t k = n.size();
+    BigInt r = BigInt(1) << (64 * k);
+    r2 = (r * r) % modulus;
+  }
+
+  // CIOS Montgomery multiplication: returns a*b*R^-1 mod N (limb vectors of
+  // size k, result size k).
+  std::vector<u64> mul(const std::vector<u64>& a, const std::vector<u64>& b) const {
+    const std::size_t k = n.size();
+    std::vector<u64> t(k + 2, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      const u64 ai = i < a.size() ? a[i] : 0;
+      // t += ai * b
+      u64 carry = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const u64 bj = j < b.size() ? b[j] : 0;
+        const u128 cur = static_cast<u128>(ai) * bj + t[j] + carry;
+        t[j] = static_cast<u64>(cur);
+        carry = static_cast<u64>(cur >> 64);
+      }
+      u128 cur = static_cast<u128>(t[k]) + carry;
+      t[k] = static_cast<u64>(cur);
+      t[k + 1] = static_cast<u64>(cur >> 64);
+      // m = t[0] * n0inv mod 2^64; t += m * N; t >>= 64
+      const u64 m = t[0] * n0inv;
+      carry = 0;
+      {
+        const u128 c0 = static_cast<u128>(m) * n[0] + t[0];
+        carry = static_cast<u64>(c0 >> 64);
+      }
+      for (std::size_t j = 1; j < k; ++j) {
+        const u128 cur2 = static_cast<u128>(m) * n[j] + t[j] + carry;
+        t[j - 1] = static_cast<u64>(cur2);
+        carry = static_cast<u64>(cur2 >> 64);
+      }
+      cur = static_cast<u128>(t[k]) + carry;
+      t[k - 1] = static_cast<u64>(cur);
+      t[k] = t[k + 1] + static_cast<u64>(cur >> 64);
+      t[k + 1] = 0;
+    }
+    t.resize(k + 1);
+    // Conditional subtraction of N.
+    bool ge = t[k] != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t i = k; i-- > 0;) {
+        if (t[i] != n[i]) {
+          ge = t[i] > n[i];
+          break;
+        }
+      }
+    }
+    t.resize(k);
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const u128 rhs = static_cast<u128>(n[i]) + static_cast<u128>(borrow);
+        if (static_cast<u128>(t[i]) >= rhs) {
+          t[i] = static_cast<u64>(t[i] - static_cast<u64>(rhs));
+          borrow = 0;
+        } else {
+          t[i] = static_cast<u64>((static_cast<u128>(1) << 64) + t[i] - rhs);
+          borrow = 1;
+        }
+      }
+    }
+    return t;
+  }
+};
+
+}  // namespace
+
+BigInt BigInt::mod_exp(const BigInt& exponent, const BigInt& modulus) const {
+  if (modulus.is_zero()) throw std::domain_error("mod_exp: zero modulus");
+  if (modulus == BigInt(1)) return BigInt();
+  BigInt base = *this % modulus;
+  if (exponent.is_zero()) return BigInt(1);
+
+  if (modulus.is_odd()) {
+    MontCtx ctx(modulus);
+    const std::size_t k = ctx.n.size();
+    auto pad = [&](const BigInt& v) {
+      std::vector<u64> l = v.limbs();
+      l.resize(k, 0);
+      return l;
+    };
+    // Convert to Montgomery domain.
+    std::vector<u64> xm = ctx.mul(pad(base), pad(ctx.r2));
+    std::vector<u64> acc = pad(BigInt(1));
+    acc = ctx.mul(acc, pad(ctx.r2));  // 1 in Montgomery form = R mod N
+    for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+      acc = ctx.mul(acc, acc);
+      if (exponent.bit(i)) acc = ctx.mul(acc, xm);
+    }
+    // Convert back: multiply by 1.
+    std::vector<u64> one(k, 0);
+    one[0] = 1;
+    acc = ctx.mul(acc, one);
+    return from_limbs(std::move(acc));
+  }
+
+  // Even modulus: plain square-and-multiply with division-based reduction.
+  BigInt acc(1);
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    acc = (acc * acc) % modulus;
+    if (exponent.bit(i)) acc = (acc * base) % modulus;
+  }
+  return acc;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& modulus) const {
+  // Extended Euclid tracking only the coefficient of `this`, with signs
+  // managed manually (BigInt is unsigned).
+  BigInt r0 = modulus, r1 = *this % modulus;
+  BigInt t0, t1(1);
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    const auto [q, r2] = r0.divmod(r1);
+    // t2 = t0 - q*t1 with sign tracking.
+    const BigInt qt1 = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    t0_neg = t1_neg;
+    t1 = t2;
+    t1_neg = t2_neg;
+  }
+  if (r0 != BigInt(1)) throw std::domain_error("mod_inverse: not invertible");
+  if (t0_neg) return modulus - (t0 % modulus);
+  return t0 % modulus;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+}  // namespace mbtls::bn

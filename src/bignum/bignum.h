@@ -1,0 +1,81 @@
+// Arbitrary-precision unsigned integers, sized for cryptographic use
+// (RSA-2048, DHE groups). 64-bit limbs, little-endian limb order.
+//
+// Only the operations the crypto stack needs are provided: ring arithmetic,
+// comparison, shifting, division with remainder, modular exponentiation
+// (Montgomery for odd moduli), and modular inverse. Values are non-negative;
+// subtraction underflow throws.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace mbtls::bn {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(std::uint64_t v);
+
+  /// Parse big-endian bytes (leading zeros fine).
+  static BigInt from_bytes(ByteView be);
+  /// Parse a hex string (no 0x prefix).
+  static BigInt from_hex(std::string_view hex);
+
+  /// Big-endian byte encoding, minimal length (empty for zero) or padded to
+  /// `min_len` bytes.
+  Bytes to_bytes(std::size_t min_len = 0) const;
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool bit(std::size_t i) const;
+  std::size_t bit_length() const;
+  std::size_t byte_length() const { return (bit_length() + 7) / 8; }
+
+  // Comparison: -1, 0, 1.
+  int compare(const BigInt& other) const;
+  bool operator==(const BigInt& o) const { return compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return compare(o) >= 0; }
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;  // throws std::underflow_error
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  /// Division with remainder as {quotient, remainder}; divisor must be
+  /// non-zero.
+  std::pair<BigInt, BigInt> divmod(const BigInt& divisor) const;
+  BigInt operator/(const BigInt& o) const { return divmod(o).first; }
+  BigInt operator%(const BigInt& o) const { return divmod(o).second; }
+
+  /// (this ^ exponent) mod modulus. Uses Montgomery multiplication when the
+  /// modulus is odd, plain square-and-multiply with division otherwise.
+  BigInt mod_exp(const BigInt& exponent, const BigInt& modulus) const;
+
+  /// Modular inverse via extended Euclid; throws std::domain_error when
+  /// gcd(this, modulus) != 1.
+  BigInt mod_inverse(const BigInt& modulus) const;
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+ private:
+  void trim();
+  static BigInt from_limbs(std::vector<std::uint64_t> limbs);
+
+  std::vector<std::uint64_t> limbs_;  // little-endian; no trailing zero limbs
+};
+
+}  // namespace mbtls::bn

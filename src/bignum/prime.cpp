@@ -1,0 +1,92 @@
+#include "bignum/prime.h"
+
+#include <array>
+
+namespace mbtls::bn {
+
+namespace {
+// Small primes for fast trial division.
+constexpr std::array<std::uint64_t, 60> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,
+    53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113,
+    127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197,
+    199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281};
+}  // namespace
+
+BigInt random_bits(std::size_t bits, crypto::Drbg& rng) {
+  const std::size_t bytes = (bits + 7) / 8;
+  Bytes b = rng.bytes(bytes);
+  // Clear excess high bits, then force the top bit.
+  const std::size_t excess = bytes * 8 - bits;
+  b[0] &= static_cast<std::uint8_t>(0xff >> excess);
+  b[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+  return BigInt::from_bytes(b);
+}
+
+BigInt random_below(const BigInt& bound, crypto::Drbg& rng) {
+  const std::size_t bytes = bound.byte_length();
+  for (;;) {
+    Bytes b = rng.bytes(bytes);
+    BigInt candidate = BigInt::from_bytes(b);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool is_probable_prime(const BigInt& n, crypto::Drbg& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  for (const auto p : kSmallPrimes) {
+    const BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // n - 1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+  const BigInt two(2);
+  for (int round = 0; round < rounds; ++round) {
+    // a in [2, n-2]
+    BigInt a = random_below(n - BigInt(3), rng) + two;
+    BigInt x = a.mod_exp(d, n);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = x.mod_exp(two, n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(std::size_t bits, crypto::Drbg& rng) {
+  for (;;) {
+    BigInt candidate = random_bits(bits, rng);
+    // Force odd and set the second-highest bit (RSA convention).
+    Bytes b = candidate.to_bytes((bits + 7) / 8);
+    b.back() |= 1;
+    if (bits >= 2) {
+      const std::size_t excess = b.size() * 8 - bits;
+      b[0] |= static_cast<std::uint8_t>(0x40 >> excess);
+    }
+    candidate = BigInt::from_bytes(b);
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+BigInt generate_safe_prime(std::size_t bits, crypto::Drbg& rng) {
+  for (;;) {
+    BigInt q = generate_prime(bits - 1, rng);
+    BigInt p = (q << 1) + BigInt(1);
+    if (is_probable_prime(p, rng, 16)) return p;
+  }
+}
+
+}  // namespace mbtls::bn

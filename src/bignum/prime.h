@@ -1,0 +1,28 @@
+// Probabilistic primality testing and prime generation for RSA key
+// generation and DHE parameter creation.
+#pragma once
+
+#include "bignum/bignum.h"
+#include "crypto/drbg.h"
+
+namespace mbtls::bn {
+
+/// Miller–Rabin with `rounds` random bases (plus trial division by small
+/// primes first). Error probability <= 4^-rounds for composites.
+bool is_probable_prime(const BigInt& n, crypto::Drbg& rng, int rounds = 24);
+
+/// Uniform random integer in [0, bound).
+BigInt random_below(const BigInt& bound, crypto::Drbg& rng);
+
+/// Random integer with exactly `bits` bits (top bit set).
+BigInt random_bits(std::size_t bits, crypto::Drbg& rng);
+
+/// Random probable prime with exactly `bits` bits. Top two bits are set
+/// (standard for RSA so that p*q has full length) and the value is odd.
+BigInt generate_prime(std::size_t bits, crypto::Drbg& rng);
+
+/// Random safe prime p = 2q + 1 with both p, q probable primes. Used for
+/// DHE parameter generation (slow at large sizes; tests use modest ones).
+BigInt generate_safe_prime(std::size_t bits, crypto::Drbg& rng);
+
+}  // namespace mbtls::bn

@@ -1,0 +1,35 @@
+// AES-128/192/256 block cipher (FIPS 197).
+//
+// The S-box and its inverse are derived algebraically at first use (GF(2^8)
+// inversion followed by the affine map) rather than hard-coded, and validated
+// against the FIPS 197 known-answer vectors in tests. Only the raw block
+// operation is exposed; all bulk encryption in this library goes through GCM.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace mbtls::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24, or 32 bytes.
+  explicit Aes(ByteView key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  std::size_t key_size() const { return key_size_; }
+
+ private:
+  std::size_t key_size_;
+  int rounds_;
+  // Round keys stored as bytes, 16 per round (+1 for the initial AddRoundKey).
+  std::array<std::uint8_t, 16 * 15> round_keys_{};
+};
+
+}  // namespace mbtls::crypto

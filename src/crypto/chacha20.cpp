@@ -1,0 +1,78 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace mbtls::crypto {
+
+namespace {
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  using std::rotl;
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+}  // namespace
+
+ChaCha20::ChaCha20(ByteView key, ByteView nonce, std::uint32_t initial_counter)
+    : counter_(initial_counter) {
+  if (key.size() != 32) throw std::invalid_argument("ChaCha20 key must be 32 bytes");
+  if (nonce.size() != 12) throw std::invalid_argument("ChaCha20 nonce must be 12 bytes");
+  state_[0] = 0x61707865;  // "expa"
+  state_[1] = 0x3320646e;  // "nd 3"
+  state_[2] = 0x79622d32;  // "2-by"
+  state_[3] = 0x6b206574;  // "te k"
+  for (int i = 0; i < 8; ++i) state_[static_cast<std::size_t>(4 + i)] = load_le32(key.data() + 4 * i);
+  for (int i = 0; i < 3; ++i) state_[static_cast<std::size_t>(13 + i)] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::block(std::uint32_t counter, std::uint8_t out[64]) const {
+  std::uint32_t x[16];
+  std::memcpy(x, state_.data(), sizeof(x));
+  x[12] = counter;
+  std::uint32_t w[16];
+  std::memcpy(w, x, sizeof(w));
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) store_le32(out + 4 * i, w[i] + x[i]);
+}
+
+void ChaCha20::crypt(MutableByteView data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (partial_used_ == 64) {
+      block(counter_++, partial_.data());
+      partial_used_ = 0;
+    }
+    data[i] ^= partial_[partial_used_++];
+  }
+}
+
+Bytes ChaCha20::keystream(std::size_t n) {
+  Bytes out(n, 0);
+  crypt(out);
+  return out;
+}
+
+}  // namespace mbtls::crypto

@@ -1,0 +1,33 @@
+// ChaCha20 stream cipher (RFC 8439). Used here as the core of the
+// deterministic random bit generator; it is not wired into TLS cipher suites
+// (the paper's prototype only used AES-GCM).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace mbtls::crypto {
+
+class ChaCha20 {
+ public:
+  /// key: 32 bytes, nonce: 12 bytes.
+  ChaCha20(ByteView key, ByteView nonce, std::uint32_t initial_counter = 0);
+
+  /// XOR the keystream into `data` (encrypt == decrypt).
+  void crypt(MutableByteView data);
+
+  /// Produce `n` raw keystream bytes.
+  Bytes keystream(std::size_t n);
+
+ private:
+  void block(std::uint32_t counter, std::uint8_t out[64]) const;
+
+  std::array<std::uint32_t, 16> state_{};
+  std::uint32_t counter_;
+  std::array<std::uint8_t, 64> partial_{};
+  std::size_t partial_used_ = 64;  // 64 == empty
+};
+
+}  // namespace mbtls::crypto

@@ -1,0 +1,55 @@
+#include "crypto/drbg.h"
+
+#include "crypto/sha2.h"
+
+namespace mbtls::crypto {
+
+namespace {
+constexpr std::uint8_t kZeroNonce[12] = {0};
+}
+
+Drbg::Drbg(ByteView seed) : key_(Sha256::digest(seed)) {
+  stream_ = std::make_unique<ChaCha20>(key_, ByteView(kZeroNonce, 12));
+}
+
+Drbg::Drbg(std::string_view label, std::uint64_t n) : Drbg([&] {
+      Bytes seed = to_bytes(label);
+      put_u64(seed, n);
+      return seed;
+    }()) {}
+
+void Drbg::fill(MutableByteView out) { stream_->crypt(out); }
+
+Bytes Drbg::bytes(std::size_t n) { return stream_->keystream(n); }
+
+std::uint32_t Drbg::u32() {
+  std::uint8_t b[4];
+  fill(MutableByteView(b, 4));
+  return (static_cast<std::uint32_t>(b[0]) << 24) | (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) | b[3];
+}
+
+std::uint64_t Drbg::u64() { return (static_cast<std::uint64_t>(u32()) << 32) | u32(); }
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~0ULL) / bound);
+  std::uint64_t v;
+  do {
+    v = u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double Drbg::real() {
+  return static_cast<double>(u64() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+}
+
+Drbg Drbg::fork(std::string_view label) {
+  Bytes seed = key_;
+  append(seed, to_bytes(label));
+  append(seed, bytes(16));  // advance parent so repeated forks differ
+  return Drbg(seed);
+}
+
+}  // namespace mbtls::crypto

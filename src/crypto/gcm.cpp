@@ -1,0 +1,195 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mbtls::crypto {
+
+namespace {
+
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+namespace {
+// One GF(2^128) "multiply by x" step in GCM's bit-reflected representation.
+inline void shift_right_1(AesGcm::Block& v) {
+  const bool lsb = (v.lo & 1) != 0;
+  v.lo = (v.lo >> 1) | (v.hi << 63);
+  v.hi >>= 1;
+  if (lsb) v.hi ^= 0xe100000000000000ULL;
+}
+
+// Key-independent reduction table for shifting a block right by 8 bits:
+// the low byte that falls off contributes R[byte] back into the high bits.
+const std::array<AesGcm::Block, 256>& reduction_table() {
+  static const auto table = [] {
+    std::array<AesGcm::Block, 256> r{};
+    for (int b = 0; b < 256; ++b) {
+      AesGcm::Block v{0, static_cast<std::uint64_t>(b)};
+      for (int i = 0; i < 8; ++i) shift_right_1(v);
+      // After 8 shifts the surviving bits are exactly the reduction terms.
+      r[static_cast<std::size_t>(b)] = v;
+    }
+    return r;
+  }();
+  return table;
+}
+
+inline AesGcm::Block shift_right_8(const AesGcm::Block& z) {
+  const auto& r = reduction_table()[z.lo & 0xff];
+  AesGcm::Block out;
+  out.lo = (z.lo >> 8) | (z.hi << 56);
+  out.hi = z.hi >> 8;
+  out.hi ^= r.hi;
+  out.lo ^= r.lo;
+  return out;
+}
+}  // namespace
+
+AesGcm::AesGcm(ByteView key) : aes_(key) {
+  if (key.size() != 16 && key.size() != 32)
+    throw std::invalid_argument("AES-GCM key must be 16 or 32 bytes");
+  std::uint8_t zero[16] = {0};
+  std::uint8_t h[16];
+  aes_.encrypt_block(zero, h);
+  h_.hi = load_be64(h);
+  h_.lo = load_be64(h + 8);
+  // m_table_[b] = X_b * H where X_b has byte value b in the most significant
+  // byte. Built with the (slow) bit-serial multiply; used on every block.
+  for (int b = 0; b < 256; ++b) {
+    Block z;     // accumulates X_b * H bit by bit
+    Block v = h_;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (b & (0x80 >> bit)) {
+        z.hi ^= v.hi;
+        z.lo ^= v.lo;
+      }
+      shift_right_1(v);
+    }
+    m_table_[static_cast<std::size_t>(b)] = z;
+  }
+}
+
+AesGcm::Block AesGcm::ghash(ByteView aad, ByteView ciphertext) const {
+  // Table-driven multiply: Z = Y * H computed byte-by-byte (Horner over the
+  // bytes of Y, least significant byte first; each step shifts by x^8 and
+  // adds byte * H from the per-key table).
+  auto mul_h = [&](const Block& y) {
+    Block z;
+    for (int i = 15; i >= 0; --i) {
+      const std::uint8_t byte =
+          i < 8 ? static_cast<std::uint8_t>(y.hi >> (56 - 8 * i))
+                : static_cast<std::uint8_t>(y.lo >> (56 - 8 * (i - 8)));
+      z = shift_right_8(z);
+      const Block& m = m_table_[byte];
+      z.hi ^= m.hi;
+      z.lo ^= m.lo;
+    }
+    return z;
+  };
+
+  Block y;
+  auto absorb = [&](ByteView data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      std::uint8_t block[16] = {0};
+      const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+      std::memcpy(block, data.data() + off, n);
+      y.hi ^= load_be64(block);
+      y.lo ^= load_be64(block + 8);
+      y = mul_h(y);
+      off += n;
+    }
+  };
+  absorb(aad);
+  absorb(ciphertext);
+  // Length block: 64-bit bit-lengths of AAD and ciphertext.
+  y.hi ^= static_cast<std::uint64_t>(aad.size()) * 8;
+  y.lo ^= static_cast<std::uint64_t>(ciphertext.size()) * 8;
+  y = mul_h(y);
+  return y;
+}
+
+void AesGcm::ctr_xor(const std::uint8_t j0[16], ByteView in, std::uint8_t* out) const {
+  std::uint8_t counter[16];
+  std::memcpy(counter, j0, 16);
+  std::uint32_t ctr = (static_cast<std::uint32_t>(counter[12]) << 24) |
+                      (static_cast<std::uint32_t>(counter[13]) << 16) |
+                      (static_cast<std::uint32_t>(counter[14]) << 8) | counter[15];
+  std::size_t off = 0;
+  while (off < in.size()) {
+    ctr++;
+    store_be32(counter + 12, ctr);
+    std::uint8_t keystream[16];
+    aes_.encrypt_block(counter, keystream);
+    const std::size_t n = std::min<std::size_t>(16, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ keystream[i];
+    off += n;
+  }
+}
+
+Bytes AesGcm::seal(ByteView iv, ByteView aad, ByteView plaintext) const {
+  if (iv.size() != kIvSize) throw std::invalid_argument("AES-GCM requires a 96-bit IV");
+  std::uint8_t j0[16] = {0};
+  std::memcpy(j0, iv.data(), 12);
+  j0[15] = 1;
+
+  Bytes out(plaintext.size() + kTagSize);
+  ctr_xor(j0, plaintext, out.data());
+
+  const Block s = ghash(aad, ByteView(out.data(), plaintext.size()));
+  std::uint8_t tag_mask[16];
+  aes_.encrypt_block(j0, tag_mask);
+  std::uint8_t tag[16];
+  store_be64(tag, s.hi);
+  store_be64(tag + 8, s.lo);
+  for (int i = 0; i < 16; ++i) tag[i] ^= tag_mask[i];
+  std::memcpy(out.data() + plaintext.size(), tag, 16);
+  return out;
+}
+
+std::optional<Bytes> AesGcm::open(ByteView iv, ByteView aad, ByteView ciphertext_and_tag) const {
+  if (iv.size() != kIvSize) throw std::invalid_argument("AES-GCM requires a 96-bit IV");
+  if (ciphertext_and_tag.size() < kTagSize) return std::nullopt;
+  const std::size_t ct_len = ciphertext_and_tag.size() - kTagSize;
+  const ByteView ct = ciphertext_and_tag.first(ct_len);
+  const ByteView tag = ciphertext_and_tag.subspan(ct_len);
+
+  std::uint8_t j0[16] = {0};
+  std::memcpy(j0, iv.data(), 12);
+  j0[15] = 1;
+
+  const Block s = ghash(aad, ct);
+  std::uint8_t tag_mask[16];
+  aes_.encrypt_block(j0, tag_mask);
+  std::uint8_t expected[16];
+  store_be64(expected, s.hi);
+  store_be64(expected + 8, s.lo);
+  for (int i = 0; i < 16; ++i) expected[i] ^= tag_mask[i];
+  if (!constant_time_equal(ByteView(expected, 16), tag)) return std::nullopt;
+
+  Bytes plaintext(ct_len);
+  ctr_xor(j0, ct, plaintext.data());
+  return plaintext;
+}
+
+}  // namespace mbtls::crypto

@@ -1,0 +1,50 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D).
+//
+// This is the only AEAD in the library; TLS record protection, mbTLS per-hop
+// protection, session tickets, and SGX sealing all use it. Only 96-bit IVs
+// are supported (the TLS 1.2 GCM nonce construction always yields 12 bytes).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+
+namespace mbtls::crypto {
+
+class AesGcm {
+ public:
+  static constexpr std::size_t kTagSize = 16;
+  static constexpr std::size_t kIvSize = 12;
+
+  /// Key must be 16 or 32 bytes (AES-128-GCM / AES-256-GCM).
+  explicit AesGcm(ByteView key);
+
+  /// Encrypts `plaintext`; returns ciphertext || 16-byte tag.
+  Bytes seal(ByteView iv, ByteView aad, ByteView plaintext) const;
+
+  /// Verifies the trailing tag and decrypts. Returns nullopt on
+  /// authentication failure (callers translate into a bad_record_mac alert).
+  std::optional<Bytes> open(ByteView iv, ByteView aad, ByteView ciphertext_and_tag) const;
+
+  /// 128-bit GHASH block, two big-endian halves. Public so that the GF(2^128)
+  /// multiply helper (an implementation detail) can name it.
+  struct Block {
+    std::uint64_t hi = 0, lo = 0;
+  };
+
+ private:
+
+  Block ghash(ByteView aad, ByteView ciphertext) const;
+  void ctr_xor(const std::uint8_t j0[16], ByteView in, std::uint8_t* out) const;
+
+  Aes aes_;
+  Block h_;  // GHASH key H = E_K(0^128)
+  // Shoup-style byte table: m_table_[b] = (byte b at the MSB position) * H,
+  // built once per key. Reduces GHASH from 128 shift steps per block to 16
+  // table lookups.
+  std::array<Block, 256> m_table_;
+};
+
+}  // namespace mbtls::crypto

@@ -1,0 +1,38 @@
+#include "crypto/hkdf.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+
+namespace mbtls::crypto {
+
+Bytes hkdf_extract(HashAlgo algo, ByteView salt, ByteView ikm) {
+  Bytes zero_salt;
+  if (salt.empty()) {
+    zero_salt.assign(digest_size(algo), 0);
+    salt = zero_salt;
+  }
+  return hmac(algo, salt, ikm);
+}
+
+Bytes hkdf_expand(HashAlgo algo, ByteView prk, ByteView info, std::size_t length) {
+  const std::size_t n = digest_size(algo);
+  if (length > 255 * n) throw std::length_error("hkdf_expand: output too long");
+  Bytes okm;
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = concat({t, info});
+    block.push_back(counter++);
+    t = hmac(algo, prk, block);
+    append(okm, t);
+  }
+  okm.resize(length);
+  return okm;
+}
+
+Bytes hkdf(HashAlgo algo, ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  return hkdf_expand(algo, hkdf_extract(algo, salt, ikm), info, length);
+}
+
+}  // namespace mbtls::crypto

@@ -1,0 +1,19 @@
+// HKDF (RFC 5869): extract-and-expand key derivation. Used by the SGX
+// simulation for sealing keys and by mbTLS for deriving per-hop key material.
+#pragma once
+
+#include "crypto/sha2.h"
+#include "util/bytes.h"
+
+namespace mbtls::crypto {
+
+/// HKDF-Extract: PRK = HMAC-Hash(salt, IKM).
+Bytes hkdf_extract(HashAlgo algo, ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: OKM of `length` bytes from PRK and info.
+Bytes hkdf_expand(HashAlgo algo, ByteView prk, ByteView info, std::size_t length);
+
+/// Convenience extract-then-expand.
+Bytes hkdf(HashAlgo algo, ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace mbtls::crypto

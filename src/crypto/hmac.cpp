@@ -1,0 +1,34 @@
+#include "crypto/hmac.h"
+
+namespace mbtls::crypto {
+
+namespace {
+Bytes pad_key(HashAlgo algo, ByteView key, std::uint8_t pad) {
+  const std::size_t bs = block_size(algo);
+  Bytes k = key.size() > bs ? hash(algo, key) : to_bytes(key);
+  k.resize(bs, 0);
+  for (auto& b : k) b ^= pad;
+  return k;
+}
+}  // namespace
+
+Bytes hmac(HashAlgo algo, ByteView key, ByteView message) {
+  const Bytes ipad = pad_key(algo, key, 0x36);
+  const Bytes opad = pad_key(algo, key, 0x5c);
+  const Bytes inner = hash(algo, concat({ipad, message}));
+  return hash(algo, concat({opad, inner}));
+}
+
+Hmac::Hmac(HashAlgo algo, ByteView key)
+    : algo_(algo),
+      inner_key_pad_(pad_key(algo, key, 0x36)),
+      outer_key_pad_(pad_key(algo, key, 0x5c)) {}
+
+void Hmac::update(ByteView data) { append(inner_data_, data); }
+
+Bytes Hmac::finish() {
+  const Bytes inner = hash(algo_, concat({inner_key_pad_, inner_data_}));
+  return hash(algo_, concat({outer_key_pad_, inner}));
+}
+
+}  // namespace mbtls::crypto

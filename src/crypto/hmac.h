@@ -1,0 +1,26 @@
+// HMAC (FIPS 198-1 / RFC 2104) over any SHA-2 hash in this library.
+#pragma once
+
+#include "crypto/sha2.h"
+#include "util/bytes.h"
+
+namespace mbtls::crypto {
+
+/// One-shot HMAC.
+Bytes hmac(HashAlgo algo, ByteView key, ByteView message);
+
+/// Streaming HMAC for transcript-style usage.
+class Hmac {
+ public:
+  Hmac(HashAlgo algo, ByteView key);
+  void update(ByteView data);
+  Bytes finish();
+
+ private:
+  HashAlgo algo_;
+  Bytes inner_key_pad_;  // key ^ ipad, kept to restart the outer hash
+  Bytes outer_key_pad_;
+  Bytes inner_data_;     // buffered inner-hash input
+};
+
+}  // namespace mbtls::crypto

@@ -1,0 +1,90 @@
+// SHA-2 family (SHA-256, SHA-384, SHA-512), implemented from FIPS 180-4.
+//
+// Streaming interface (`update`/`finish`) plus one-shot helpers. The TLS 1.2
+// PRF, HMAC, handshake transcript hashing, SGX measurements, and certificate
+// signatures are all built on these.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace mbtls::crypto {
+
+/// SHA-256.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+  void update(ByteView data);
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Bytes finish();
+
+  static Bytes digest(ByteView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, kBlockSize> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// SHA-384: SHA-512 with a distinct IV, truncated to 48 bytes.
+class Sha384 {
+ public:
+  static constexpr std::size_t kDigestSize = 48;
+  static constexpr std::size_t kBlockSize = 128;
+
+  Sha384();
+  void update(ByteView data);
+  Bytes finish();
+
+  static Bytes digest(ByteView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> h_;
+  std::array<std::uint8_t, kBlockSize> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// SHA-512 (full 64-byte digest). Shares the compression function with SHA-384.
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+
+  Sha512();
+  void update(ByteView data);
+  Bytes finish();
+
+  static Bytes digest(ByteView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> h_;
+  std::array<std::uint8_t, kBlockSize> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Hash algorithm identifiers used across TLS signatures & the PRF.
+enum class HashAlgo : std::uint8_t {
+  kSha256 = 4,  // TLS HashAlgorithm registry values
+  kSha384 = 5,
+  kSha512 = 6,
+};
+
+std::size_t digest_size(HashAlgo algo);
+std::size_t block_size(HashAlgo algo);
+Bytes hash(HashAlgo algo, ByteView data);
+
+}  // namespace mbtls::crypto

@@ -1,0 +1,24 @@
+#include "ec/ecdh.h"
+
+#include <stdexcept>
+
+namespace mbtls::ec {
+
+EcdhKeyPair ecdh_generate(crypto::Drbg& rng) {
+  const auto& curve = P256::instance();
+  EcdhKeyPair kp;
+  kp.private_key = curve.random_scalar(rng);
+  kp.public_point = curve.encode_point(curve.mul_base(kp.private_key));
+  return kp;
+}
+
+Bytes ecdh_shared_secret(const EcdhKeyPair& ours, ByteView peer_public_point) {
+  const auto& curve = P256::instance();
+  const auto peer = curve.decode_point(peer_public_point);
+  if (!peer) throw std::invalid_argument("ECDH: invalid peer public point");
+  const AffinePoint shared = curve.mul(ours.private_key, *peer);
+  if (shared.infinity) throw std::invalid_argument("ECDH: degenerate shared point");
+  return shared.x.to_bytes();
+}
+
+}  // namespace mbtls::ec

@@ -1,0 +1,23 @@
+// Ephemeral ECDH over P-256 — the key exchange behind the
+// TLS_ECDHE_* cipher suites.
+#pragma once
+
+#include "crypto/drbg.h"
+#include "ec/p256.h"
+#include "util/bytes.h"
+
+namespace mbtls::ec {
+
+struct EcdhKeyPair {
+  U256 private_key;
+  Bytes public_point;  // SEC1 uncompressed (65 bytes)
+};
+
+/// Generate an ephemeral key pair.
+EcdhKeyPair ecdh_generate(crypto::Drbg& rng);
+
+/// Compute the shared secret (the 32-byte x-coordinate, per RFC 4492).
+/// Throws std::invalid_argument if the peer point is invalid.
+Bytes ecdh_shared_secret(const EcdhKeyPair& ours, ByteView peer_public_point);
+
+}  // namespace mbtls::ec

@@ -1,0 +1,69 @@
+#include "ec/ecdsa.h"
+
+namespace mbtls::ec {
+
+namespace {
+// Hash-to-scalar: leftmost 256 bits of the digest, reduced once mod n.
+U256 hash_to_scalar(crypto::HashAlgo algo, ByteView message) {
+  Bytes digest = crypto::hash(algo, message);
+  digest.resize(32);  // truncate to the group size (SHA-384/512 -> 32 bytes)
+  const U256 z = U256::from_bytes(digest);
+  return P256::instance().scalar_field().reduce_once(z);
+}
+}  // namespace
+
+EcdsaKeyPair ecdsa_generate(crypto::Drbg& rng) {
+  const auto& curve = P256::instance();
+  EcdsaKeyPair kp;
+  kp.private_key = curve.random_scalar(rng);
+  kp.public_key = curve.mul_base(kp.private_key);
+  return kp;
+}
+
+Bytes ecdsa_sign(const EcdsaKeyPair& key, crypto::HashAlgo algo, ByteView message,
+                 crypto::Drbg& rng) {
+  const auto& curve = P256::instance();
+  const auto& fn = curve.scalar_field();
+  const U256 z = hash_to_scalar(algo, message);
+  for (;;) {
+    const U256 k = curve.random_scalar(rng);
+    const AffinePoint r_point = curve.mul_base(k);
+    const U256 r = fn.reduce_once(r_point.x);
+    if (r.is_zero()) continue;
+    // s = k^-1 (z + r d) mod n, computed in the Montgomery domain of n.
+    const U256 km = fn.to_mont(k);
+    const U256 rm = fn.to_mont(r);
+    const U256 dm = fn.to_mont(key.private_key);
+    const U256 zm = fn.to_mont(z);
+    const U256 kinv = fn.inv(km);
+    const U256 sm = fn.mul(kinv, fn.add(zm, fn.mul(rm, dm)));
+    const U256 s = fn.from_mont(sm);
+    if (s.is_zero()) continue;
+    return concat({r.to_bytes(), s.to_bytes()});
+  }
+}
+
+bool ecdsa_verify(const AffinePoint& public_key, crypto::HashAlgo algo, ByteView message,
+                  ByteView signature) {
+  if (signature.size() != 64) return false;
+  const auto& curve = P256::instance();
+  const auto& fn = curve.scalar_field();
+  if (!curve.on_curve(public_key)) return false;
+
+  const U256 r = U256::from_bytes(signature.first(32));
+  const U256 s = U256::from_bytes(signature.subspan(32));
+  if (r.is_zero() || s.is_zero()) return false;
+  // r, s must be < n.
+  if (fn.reduce_once(r) != r || fn.reduce_once(s) != s) return false;
+
+  const U256 z = hash_to_scalar(algo, message);
+  const U256 sm = fn.to_mont(s);
+  const U256 w = fn.inv(sm);  // s^-1 in Montgomery form
+  const U256 u1 = fn.from_mont(fn.mul(fn.to_mont(z), w));
+  const U256 u2 = fn.from_mont(fn.mul(fn.to_mont(r), w));
+  const AffinePoint rp = curve.mul_add(u1, u2, public_key);
+  if (rp.infinity) return false;
+  return fn.reduce_once(rp.x) == r;
+}
+
+}  // namespace mbtls::ec

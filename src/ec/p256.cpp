@@ -1,0 +1,359 @@
+#include "ec/p256.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mbtls::ec {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+U256 U256::from_bytes(ByteView be32) {
+  if (be32.size() != 32) throw std::invalid_argument("U256::from_bytes wants 32 bytes");
+  U256 r;
+  for (int limb = 0; limb < 4; ++limb) {
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | be32[static_cast<std::size_t>((3 - limb) * 8 + i)];
+    r.w[static_cast<std::size_t>(limb)] = v;
+  }
+  return r;
+}
+
+Bytes U256::to_bytes() const {
+  Bytes out(32);
+  for (int limb = 0; limb < 4; ++limb) {
+    u64 v = w[static_cast<std::size_t>(limb)];
+    for (int i = 7; i >= 0; --i) {
+      out[static_cast<std::size_t>((3 - limb) * 8 + i)] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// raw add: r = a + b, returns carry
+inline u64 raw_add(U256& r, const U256& a, const U256& b) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 s = static_cast<u128>(a.w[i]) + b.w[i] + carry;
+    r.w[i] = static_cast<u64>(s);
+    carry = s >> 64;
+  }
+  return static_cast<u64>(carry);
+}
+
+// raw sub: r = a - b, returns borrow
+inline u64 raw_sub(U256& r, const U256& a, const U256& b) {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(a.w[i]) - b.w[i] - borrow;
+    r.w[i] = static_cast<u64>(d);
+    borrow = (d >> 64) & 1;
+  }
+  return static_cast<u64>(borrow);
+}
+
+inline int raw_cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) return a.w[i] < b.w[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Mont::Mont(const U256& modulus) : n_(modulus) {
+  if ((n_.w[0] & 1) == 0) throw std::invalid_argument("Mont: modulus must be odd");
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - n_.w[0] * inv;
+  n0inv_ = ~inv + 1;
+
+  // r2_ = 2^512 mod n, computed by repeated doubling of (2^256 mod n).
+  // Start with r = 2^256 mod n: since n has the top bit set in practice
+  // (both the P-256 prime and order do), 2^256 mod n can be found by
+  // repeated conditional subtraction from a value built via doubling 1,
+  // 256 times, reducing as we go.
+  U256 r{};  // running value
+  r.w[0] = 1;
+  for (int i = 0; i < 512; ++i) {
+    // r = 2r mod n
+    U256 doubled;
+    const u64 carry = raw_add(doubled, r, r);
+    if (carry || raw_cmp(doubled, n_) >= 0) {
+      U256 reduced;
+      raw_sub(reduced, doubled, n_);
+      r = reduced;
+    } else {
+      r = doubled;
+    }
+  }
+  r2_ = r;
+
+  U256 one{};
+  one.w[0] = 1;
+  one_ = mul(one, r2_);
+}
+
+U256 Mont::add(const U256& a, const U256& b) const {
+  U256 r;
+  const u64 carry = raw_add(r, a, b);
+  if (carry || raw_cmp(r, n_) >= 0) {
+    U256 s;
+    raw_sub(s, r, n_);
+    return s;
+  }
+  return r;
+}
+
+U256 Mont::sub(const U256& a, const U256& b) const {
+  U256 r;
+  const u64 borrow = raw_sub(r, a, b);
+  if (borrow) {
+    U256 s;
+    raw_add(s, r, n_);
+    return s;
+  }
+  return r;
+}
+
+U256 Mont::mul(const U256& a, const U256& b) const {
+  // CIOS Montgomery multiplication, fixed 4 limbs.
+  u64 t[6] = {0};
+  for (int i = 0; i < 4; ++i) {
+    // t += a[i] * b
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.w[i]) * b.w[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[4]) + carry;
+    t[4] = static_cast<u64>(cur);
+    t[5] = static_cast<u64>(cur >> 64);
+
+    const u64 m = t[0] * n0inv_;
+    // t += m * n; t >>= 64
+    u128 c0 = static_cast<u128>(m) * n_.w[0] + t[0];
+    carry = static_cast<u64>(c0 >> 64);
+    for (int j = 1; j < 4; ++j) {
+      const u128 cur2 = static_cast<u128>(m) * n_.w[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(cur2);
+      carry = static_cast<u64>(cur2 >> 64);
+    }
+    cur = static_cast<u128>(t[4]) + carry;
+    t[3] = static_cast<u64>(cur);
+    t[4] = t[5] + static_cast<u64>(cur >> 64);
+    t[5] = 0;
+  }
+  U256 r{{t[0], t[1], t[2], t[3]}};
+  if (t[4] != 0 || raw_cmp(r, n_) >= 0) {
+    U256 s;
+    raw_sub(s, r, n_);
+    return s;
+  }
+  return r;
+}
+
+U256 Mont::from_mont(const U256& a) const {
+  U256 one{};
+  one.w[0] = 1;
+  return mul(a, one);
+}
+
+U256 Mont::exp(const U256& base_mont, const U256& e) const {
+  U256 acc = one_;
+  bool started = false;
+  for (int i = 255; i >= 0; --i) {
+    if (started) acc = sqr(acc);
+    if (e.bit(static_cast<std::size_t>(i))) {
+      acc = started ? mul(acc, base_mont) : base_mont;
+      started = true;
+    }
+  }
+  return started ? acc : one_;
+}
+
+U256 Mont::inv(const U256& a_mont) const {
+  // Fermat: a^(n-2) mod n.
+  U256 e = n_;
+  U256 two{};
+  two.w[0] = 2;
+  U256 nm2;
+  raw_sub(nm2, e, two);
+  return exp(a_mont, nm2);
+}
+
+U256 Mont::reduce_once(const U256& a) const {
+  if (raw_cmp(a, n_) >= 0) {
+    U256 r;
+    raw_sub(r, a, n_);
+    return r;
+  }
+  return a;
+}
+
+// ------------------------------------------------------------------ curve
+
+namespace {
+U256 from_hex64(const char* hex) {
+  // 64 hex chars -> U256
+  Bytes b(32);
+  auto nib = [](char c) -> u64 {
+    if (c >= '0' && c <= '9') return static_cast<u64>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<u64>(c - 'a' + 10);
+    return static_cast<u64>(c - 'A' + 10);
+  };
+  for (int i = 0; i < 32; ++i)
+    b[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((nib(hex[2 * i]) << 4) | nib(hex[2 * i + 1]));
+  return U256::from_bytes(b);
+}
+}  // namespace
+
+const P256& P256::instance() {
+  static const P256 curve;
+  return curve;
+}
+
+P256::P256()
+    : fp_(from_hex64("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")),
+      fn_(from_hex64("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")),
+      n_(from_hex64("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")) {
+  const U256 b = from_hex64("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+  const U256 gx = from_hex64("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+  const U256 gy = from_hex64("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+  b_mont_ = fp_.to_mont(b);
+  U256 three{};
+  three.w[0] = 3;
+  three_mont_ = fp_.to_mont(three);
+  g_.x = gx;
+  g_.y = gy;
+}
+
+P256::Jacobian P256::to_jacobian(const AffinePoint& p) const {
+  if (p.infinity) return Jacobian{};  // z == 0
+  return Jacobian{fp_.to_mont(p.x), fp_.to_mont(p.y), fp_.one_mont()};
+}
+
+AffinePoint P256::to_affine(const Jacobian& p) const {
+  AffinePoint r;
+  if (p.z.is_zero()) {
+    r.infinity = true;
+    return r;
+  }
+  const U256 zinv = fp_.inv(p.z);
+  const U256 zinv2 = fp_.sqr(zinv);
+  const U256 zinv3 = fp_.mul(zinv2, zinv);
+  r.x = fp_.from_mont(fp_.mul(p.x, zinv2));
+  r.y = fp_.from_mont(fp_.mul(p.y, zinv3));
+  return r;
+}
+
+// Jacobian doubling for a = -3 (dbl-2001-b style, using
+// M = 3(X-Z^2)(X+Z^2)).
+P256::Jacobian P256::dbl(const Jacobian& p) const {
+  if (p.z.is_zero() || p.y.is_zero()) return Jacobian{};
+  const U256 z2 = fp_.sqr(p.z);
+  const U256 t1 = fp_.sub(p.x, z2);
+  const U256 t2 = fp_.add(p.x, z2);
+  const U256 m = fp_.mul(three_mont_, fp_.mul(t1, t2));
+  const U256 y2 = fp_.sqr(p.y);
+  const U256 s = fp_.mul(fp_.add(fp_.add(p.x, p.x), fp_.add(p.x, p.x)), y2);  // 4*X*Y^2
+  U256 x3 = fp_.sub(fp_.sqr(m), fp_.add(s, s));
+  const U256 y4 = fp_.sqr(y2);
+  const U256 eight_y4 =
+      fp_.add(fp_.add(fp_.add(y4, y4), fp_.add(y4, y4)), fp_.add(fp_.add(y4, y4), fp_.add(y4, y4)));
+  U256 y3 = fp_.sub(fp_.mul(m, fp_.sub(s, x3)), eight_y4);
+  U256 z3 = fp_.mul(fp_.add(p.y, p.y), p.z);
+  return Jacobian{x3, y3, z3};
+}
+
+// General Jacobian addition (add-2007-bl style simplifications omitted;
+// straightforward formulas are fine at our scale).
+P256::Jacobian P256::add(const Jacobian& p, const Jacobian& q) const {
+  if (p.z.is_zero()) return q;
+  if (q.z.is_zero()) return p;
+  const U256 z1z1 = fp_.sqr(p.z);
+  const U256 z2z2 = fp_.sqr(q.z);
+  const U256 u1 = fp_.mul(p.x, z2z2);
+  const U256 u2 = fp_.mul(q.x, z1z1);
+  const U256 s1 = fp_.mul(p.y, fp_.mul(z2z2, q.z));
+  const U256 s2 = fp_.mul(q.y, fp_.mul(z1z1, p.z));
+  if (u1 == u2) {
+    if (s1 == s2) return dbl(p);
+    return Jacobian{};  // P + (-P) = infinity
+  }
+  const U256 h = fp_.sub(u2, u1);
+  const U256 r = fp_.sub(s2, s1);
+  const U256 h2 = fp_.sqr(h);
+  const U256 h3 = fp_.mul(h2, h);
+  const U256 u1h2 = fp_.mul(u1, h2);
+  U256 x3 = fp_.sub(fp_.sub(fp_.sqr(r), h3), fp_.add(u1h2, u1h2));
+  U256 y3 = fp_.sub(fp_.mul(r, fp_.sub(u1h2, x3)), fp_.mul(s1, h3));
+  U256 z3 = fp_.mul(h, fp_.mul(p.z, q.z));
+  return Jacobian{x3, y3, z3};
+}
+
+P256::Jacobian P256::mul_impl(const U256& k, const Jacobian& p) const {
+  Jacobian acc{};  // infinity
+  for (int i = 255; i >= 0; --i) {
+    acc = dbl(acc);
+    if (k.bit(static_cast<std::size_t>(i))) acc = add(acc, p);
+  }
+  return acc;
+}
+
+AffinePoint P256::mul_base(const U256& k) const { return mul(k, g_); }
+
+AffinePoint P256::mul(const U256& k, const AffinePoint& p) const {
+  return to_affine(mul_impl(k, to_jacobian(p)));
+}
+
+AffinePoint P256::mul_add(const U256& u1, const U256& u2, const AffinePoint& q) const {
+  const Jacobian a = mul_impl(u1, to_jacobian(g_));
+  const Jacobian b = mul_impl(u2, to_jacobian(q));
+  return to_affine(add(a, b));
+}
+
+bool P256::on_curve(const AffinePoint& p) const {
+  if (p.infinity) return false;
+  // y^2 == x^3 - 3x + b (in the Montgomery domain).
+  const U256 x = fp_.to_mont(p.x);
+  const U256 y = fp_.to_mont(p.y);
+  const U256 y2 = fp_.sqr(y);
+  const U256 x3 = fp_.mul(fp_.sqr(x), x);
+  const U256 rhs = fp_.add(fp_.sub(x3, fp_.mul(three_mont_, x)), b_mont_);
+  return y2 == rhs;
+}
+
+Bytes P256::encode_point(const AffinePoint& p) const {
+  if (p.infinity) throw std::invalid_argument("cannot encode point at infinity");
+  Bytes out;
+  out.reserve(65);
+  out.push_back(0x04);
+  append(out, p.x.to_bytes());
+  append(out, p.y.to_bytes());
+  return out;
+}
+
+std::optional<AffinePoint> P256::decode_point(ByteView data) const {
+  if (data.size() != 65 || data[0] != 0x04) return std::nullopt;
+  AffinePoint p;
+  p.x = U256::from_bytes(data.subspan(1, 32));
+  p.y = U256::from_bytes(data.subspan(33, 32));
+  if (raw_cmp(p.x, fp_.modulus()) >= 0 || raw_cmp(p.y, fp_.modulus()) >= 0) return std::nullopt;
+  if (!on_curve(p)) return std::nullopt;
+  return p;
+}
+
+U256 P256::random_scalar(crypto::Drbg& rng) const {
+  for (;;) {
+    const Bytes b = rng.bytes(32);
+    const U256 k = U256::from_bytes(b);
+    if (!k.is_zero() && raw_cmp(k, n_) < 0) return k;
+  }
+}
+
+}  // namespace mbtls::ec

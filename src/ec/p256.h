@@ -1,0 +1,119 @@
+// NIST P-256 (secp256r1) group arithmetic.
+//
+// Field and scalar arithmetic use a fixed-size 4x64-limb Montgomery
+// implementation (generic over any odd 256-bit modulus, so the same code
+// serves both the field prime p and the group order n). Points are held in
+// Jacobian projective coordinates in the Montgomery domain.
+//
+// This backs both ECDHE key exchange and ECDSA certificate signatures — the
+// dominant asymmetric cost in the Figure-5 handshake CPU experiment, which is
+// why it gets a dedicated implementation instead of the generic BigInt.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/drbg.h"
+#include "util/bytes.h"
+
+namespace mbtls::ec {
+
+/// 256-bit value, 4 little-endian 64-bit limbs.
+struct U256 {
+  std::array<std::uint64_t, 4> w{};
+
+  static U256 from_bytes(ByteView be32);  // exactly 32 big-endian bytes
+  Bytes to_bytes() const;                 // 32 big-endian bytes
+
+  bool operator==(const U256&) const = default;
+  bool is_zero() const { return w[0] == 0 && w[1] == 0 && w[2] == 0 && w[3] == 0; }
+  bool bit(std::size_t i) const { return (w[i / 64] >> (i % 64)) & 1; }
+};
+
+/// Montgomery arithmetic context modulo an odd 256-bit modulus.
+class Mont {
+ public:
+  explicit Mont(const U256& modulus);
+
+  const U256& modulus() const { return n_; }
+
+  U256 to_mont(const U256& a) const { return mul(a, r2_); }
+  U256 from_mont(const U256& a) const;
+
+  // All of these operate on Montgomery-domain values (except add/sub, which
+  // are domain-agnostic residue arithmetic).
+  U256 add(const U256& a, const U256& b) const;
+  U256 sub(const U256& a, const U256& b) const;
+  U256 mul(const U256& a, const U256& b) const;  // Montgomery product
+  U256 sqr(const U256& a) const { return mul(a, a); }
+  U256 exp(const U256& base_mont, const U256& e) const;
+  U256 inv(const U256& a_mont) const;  // via Fermat (modulus must be prime)
+  U256 one_mont() const { return one_; }
+
+  /// Reduce an arbitrary 256-bit value into [0, n) (at most one subtraction —
+  /// callers guarantee a < 2n).
+  U256 reduce_once(const U256& a) const;
+
+ private:
+  U256 n_;
+  std::uint64_t n0inv_;
+  U256 r2_;
+  U256 one_;
+};
+
+/// Affine point; infinity encoded by `infinity == true`.
+struct AffinePoint {
+  U256 x, y;
+  bool infinity = false;
+};
+
+class P256 {
+ public:
+  static const P256& instance();
+
+  const Mont& field() const { return fp_; }
+  const Mont& scalar_field() const { return fn_; }
+  const U256& order() const { return n_; }
+
+  /// Scalar multiplication k*G.
+  AffinePoint mul_base(const U256& k) const;
+  /// Scalar multiplication k*P.
+  AffinePoint mul(const U256& k, const AffinePoint& p) const;
+  /// u1*G + u2*Q (for ECDSA verification).
+  AffinePoint mul_add(const U256& u1, const U256& u2, const AffinePoint& q) const;
+
+  /// Is `p` a valid point on the curve (and not infinity)?
+  bool on_curve(const AffinePoint& p) const;
+
+  /// SEC1 uncompressed encoding: 0x04 || X || Y (65 bytes).
+  Bytes encode_point(const AffinePoint& p) const;
+  std::optional<AffinePoint> decode_point(ByteView data) const;
+
+  /// Random scalar in [1, n-1].
+  U256 random_scalar(crypto::Drbg& rng) const;
+
+  const AffinePoint& generator() const { return g_; }
+
+ private:
+  P256();
+
+  struct Jacobian {
+    U256 x, y, z;  // Montgomery domain; infinity iff z == 0
+  };
+
+  Jacobian to_jacobian(const AffinePoint& p) const;
+  AffinePoint to_affine(const Jacobian& p) const;
+  Jacobian dbl(const Jacobian& p) const;
+  Jacobian add(const Jacobian& p, const Jacobian& q) const;
+  Jacobian mul_impl(const U256& k, const Jacobian& p) const;
+
+  Mont fp_;
+  Mont fn_;
+  U256 n_;
+  U256 b_mont_;        // curve b in Montgomery form
+  U256 three_mont_;    // 3 in Montgomery form (a = -3)
+  AffinePoint g_;
+};
+
+}  // namespace mbtls::ec

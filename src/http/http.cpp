@@ -1,0 +1,194 @@
+#include "http/http.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace mbtls::http {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Locate the end of the header block; returns npos if incomplete.
+std::size_t find_header_end(ByteView data) {
+  const std::string_view view(reinterpret_cast<const char*>(data.data()), data.size());
+  const auto pos = view.find("\r\n\r\n");
+  return pos == std::string_view::npos ? std::string_view::npos : pos + 4;
+}
+
+struct HeadLines {
+  std::string start_line;
+  Headers headers;
+};
+
+std::optional<HeadLines> parse_head(std::string_view head) {
+  HeadLines out;
+  std::size_t pos = head.find("\r\n");
+  if (pos == std::string_view::npos) return std::nullopt;
+  out.start_line = std::string(head.substr(0, pos));
+  pos += 2;
+  while (pos < head.size()) {
+    const auto eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) break;
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // tolerate junk lines
+    out.headers.add(std::string(trim(line.substr(0, colon))),
+                    std::string(trim(line.substr(colon + 1))));
+  }
+  return out;
+}
+
+std::size_t content_length(const Headers& headers) {
+  const auto value = headers.get("Content-Length");
+  if (!value) return 0;
+  std::size_t length = 0;
+  const auto [ptr, ec] = std::from_chars(value->data(), value->data() + value->size(), length);
+  (void)ptr;
+  return ec == std::errc() ? length : 0;
+}
+
+std::optional<Request> build_request(const HeadLines& head, Bytes body) {
+  Request req;
+  // METHOD SP TARGET SP VERSION
+  const std::string& line = head.start_line;
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == std::string::npos || sp2 <= sp1) return std::nullopt;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  req.version = line.substr(sp2 + 1);
+  req.headers = head.headers;
+  req.body = std::move(body);
+  return req;
+}
+
+std::optional<Response> build_response(const HeadLines& head, Bytes body) {
+  Response resp;
+  const std::string& line = head.start_line;
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return std::nullopt;
+  resp.version = line.substr(0, sp1);
+  const auto sp2 = line.find(' ', sp1 + 1);
+  const std::string status_str =
+      sp2 == std::string::npos ? line.substr(sp1 + 1) : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  resp.status = std::atoi(status_str.c_str());
+  if (sp2 != std::string::npos) resp.reason = line.substr(sp2 + 1);
+  resp.headers = head.headers;
+  resp.body = std::move(body);
+  return resp;
+}
+
+}  // namespace
+
+void Headers::set(std::string name, std::string value) {
+  remove(name);
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+void Headers::add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string> Headers::get(std::string_view name) const {
+  for (const auto& [key, value] : entries_) {
+    if (iequals(key, name)) return value;
+  }
+  return std::nullopt;
+}
+
+void Headers::remove(std::string_view name) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const auto& e) { return iequals(e.first, name); }),
+                 entries_.end());
+}
+
+namespace {
+Bytes serialize_message(const std::string& start_line, const Headers& headers, const Bytes& body) {
+  std::string head = start_line + "\r\n";
+  bool has_length = false;
+  for (const auto& [name, value] : headers.entries()) {
+    head += name + ": " + value + "\r\n";
+    if (iequals(name, "Content-Length")) has_length = true;
+  }
+  if (!has_length && !body.empty())
+    head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  head += "\r\n";
+  Bytes out = to_bytes(std::string_view(head));
+  append(out, body);
+  return out;
+}
+}  // namespace
+
+Bytes Request::serialize() const {
+  return serialize_message(method + " " + target + " " + version, headers, body);
+}
+
+Bytes Response::serialize() const {
+  return serialize_message(version + " " + std::to_string(status) + " " + reason, headers, body);
+}
+
+template <typename Message>
+std::vector<Message> Parser<Message>::feed(ByteView data) {
+  append(buffer_, data);
+  std::vector<Message> out;
+  for (;;) {
+    const std::size_t head_end = find_header_end(buffer_);
+    if (head_end == std::string_view::npos) break;
+    const std::string_view head(reinterpret_cast<const char*>(buffer_.data()), head_end);
+    const auto parsed_head = parse_head(head);
+    if (!parsed_head) {
+      buffer_.clear();  // unrecoverable garbage
+      break;
+    }
+    const std::size_t body_len = content_length(parsed_head->headers);
+    if (buffer_.size() < head_end + body_len) break;  // body incomplete
+    Bytes body(buffer_.begin() + static_cast<std::ptrdiff_t>(head_end),
+               buffer_.begin() + static_cast<std::ptrdiff_t>(head_end + body_len));
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(head_end + body_len));
+    std::optional<Message> msg;
+    if constexpr (std::is_same_v<Message, Request>) {
+      msg = build_request(*parsed_head, std::move(body));
+    } else {
+      msg = build_response(*parsed_head, std::move(body));
+    }
+    if (msg) out.push_back(std::move(*msg));
+  }
+  return out;
+}
+
+template class Parser<Request>;
+template class Parser<Response>;
+
+std::optional<Request> parse_request(ByteView data) {
+  RequestParser parser;
+  auto msgs = parser.feed(data);
+  if (msgs.empty()) return std::nullopt;
+  return std::move(msgs.front());
+}
+
+std::optional<Response> parse_response(ByteView data) {
+  ResponseParser parser;
+  auto msgs = parser.feed(data);
+  if (msgs.empty()) return std::nullopt;
+  return std::move(msgs.front());
+}
+
+}  // namespace mbtls::http

@@ -1,0 +1,72 @@
+// Minimal HTTP/1.1: request/response model, incremental parsers, and
+// serializers — enough substrate for the paper's prototype middlebox (an
+// HTTP header-insertion proxy), the web-cache middlebox, and the examples.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace mbtls::http {
+
+/// Case-insensitive header map (HTTP header names are case-insensitive).
+class Headers {
+ public:
+  void set(std::string name, std::string value);
+  /// Appends without replacing (repeated headers).
+  void add(std::string name, std::string value);
+  std::optional<std::string> get(std::string_view name) const;
+  bool contains(std::string_view name) const { return get(name).has_value(); }
+  void remove(std::string_view name);
+  const std::vector<std::pair<std::string, std::string>>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  Bytes body;
+
+  Bytes serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  Bytes body;
+
+  Bytes serialize() const;
+};
+
+/// Incremental parser over a byte stream; emits complete messages. Bodies
+/// are delimited by Content-Length (chunked transfer is not needed by the
+/// experiments and is intentionally unsupported — messages without a length
+/// are treated as having an empty body).
+template <typename Message>
+class Parser {
+ public:
+  /// Feed stream bytes; returns every message completed by this feed.
+  std::vector<Message> feed(ByteView data);
+
+ private:
+  Bytes buffer_;
+};
+
+using RequestParser = Parser<Request>;
+using ResponseParser = Parser<Response>;
+
+/// Parse a single complete message (testing convenience); nullopt if the
+/// bytes do not contain one complete message.
+std::optional<Request> parse_request(ByteView data);
+std::optional<Response> parse_response(ByteView data);
+
+}  // namespace mbtls::http

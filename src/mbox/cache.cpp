@@ -1,0 +1,31 @@
+#include "mbox/cache.h"
+
+namespace mbtls::mbox {
+
+mb::Middlebox::Processor WebCache::processor() {
+  return [this](bool c2s, ByteView data) { return process(c2s, data); };
+}
+
+Bytes WebCache::process(bool client_to_server, ByteView data) {
+  if (client_to_server) {
+    for (const auto& request : request_parser_.feed(data)) {
+      if (request.method == "GET") outstanding_targets_.push_back(request.target);
+    }
+  } else {
+    for (const auto& response : response_parser_.feed(data)) {
+      if (outstanding_targets_.empty()) continue;
+      const std::string target = outstanding_targets_.front();
+      outstanding_targets_.erase(outstanding_targets_.begin());
+      if (response.status == 200) entries_[target] = response.body;
+    }
+  }
+  return to_bytes(data);  // transparent: cache fills, never rewrites
+}
+
+std::optional<Bytes> WebCache::lookup(const std::string& target) const {
+  auto it = entries_.find(target);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace mbtls::mbox

@@ -1,0 +1,35 @@
+// Web-cache middlebox application.
+//
+// Observes request/response pairs flowing through an mbTLS session and
+// caches responses by request target. This is the middlebox class §4.2
+// warns about ("Middlebox State Poisoning"): because a client holds every
+// hop key on its side, it can inject a forged response on a link beyond the
+// cache and poison an entry served to *other* clients. The attack harness
+// exercises exactly that using `lookup` to show the poisoned entry.
+#pragma once
+
+#include <map>
+
+#include "http/http.h"
+#include "mbtls/middlebox.h"
+
+namespace mbtls::mbox {
+
+class WebCache {
+ public:
+  mb::Middlebox::Processor processor();
+
+  /// What the cache currently holds for a target (body bytes).
+  std::optional<Bytes> lookup(const std::string& target) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  Bytes process(bool client_to_server, ByteView data);
+
+  http::RequestParser request_parser_;
+  http::ResponseParser response_parser_;
+  std::vector<std::string> outstanding_targets_;  // FIFO request->response match
+  std::map<std::string, Bytes> entries_;
+};
+
+}  // namespace mbtls::mbox

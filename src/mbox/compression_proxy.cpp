@@ -1,0 +1,34 @@
+#include "mbox/compression_proxy.h"
+
+namespace mbtls::mbox {
+
+mb::Middlebox::Processor CompressorProxy::processor() {
+  return [this](bool c2s, ByteView data) {
+    if (c2s) return to_bytes(data);
+    bytes_in_ += data.size();
+    Bytes framed;
+    put_u32(framed, static_cast<std::uint32_t>(data.size()));
+    append(framed, lz_compress(data));
+    bytes_out_ += framed.size();
+    return framed;
+  };
+}
+
+mb::Middlebox::Processor DecompressorProxy::processor() {
+  return [this](bool c2s, ByteView data) {
+    if (c2s) return to_bytes(data);
+    if (data.size() < 4) {
+      ++failures_;
+      return to_bytes(data);
+    }
+    const std::uint32_t original_len = get_u32(data, 0);
+    const auto decompressed = lz_decompress(data.subspan(4));
+    if (!decompressed || decompressed->size() != original_len) {
+      ++failures_;
+      return to_bytes(data);
+    }
+    return *decompressed;
+  };
+}
+
+}  // namespace mbtls::mbox

@@ -1,0 +1,33 @@
+// Compression-proxy middlebox pair: a compressor near the server and a
+// decompressor near the client shrink the bytes on the WAN segment between
+// them (the Flywheel-style use case from the paper's introduction). Each
+// record's payload is framed as <u32 original-length><lz data>.
+#pragma once
+
+#include "mbox/lz.h"
+#include "mbtls/middlebox.h"
+
+namespace mbtls::mbox {
+
+/// Compresses server->client payloads.
+class CompressorProxy {
+ public:
+  mb::Middlebox::Processor processor();
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+
+ private:
+  std::uint64_t bytes_in_ = 0, bytes_out_ = 0;
+};
+
+/// Decompresses server->client payloads (the peer of CompressorProxy).
+class DecompressorProxy {
+ public:
+  mb::Middlebox::Processor processor();
+  std::uint64_t failures() const { return failures_; }
+
+ private:
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace mbtls::mbox

@@ -1,0 +1,22 @@
+#include "mbox/header_proxy.h"
+
+namespace mbtls::mbox {
+
+mb::Middlebox::Processor HeaderInsertionProxy::processor() {
+  return [this](bool c2s, ByteView data) { return process(c2s, data); };
+}
+
+Bytes HeaderInsertionProxy::process(bool client_to_server, ByteView data) {
+  if (!client_to_server) return to_bytes(data);  // responses pass untouched
+  Bytes out;
+  // Requests may span records (or several may share one); reassemble and
+  // re-serialize each completed request with the extra header.
+  for (auto& request : request_parser_.feed(data)) {
+    ++requests_seen_;
+    request.headers.add(header_name_, header_value_);
+    append(out, request.serialize());
+  }
+  return out;
+}
+
+}  // namespace mbtls::mbox

@@ -1,0 +1,31 @@
+// The paper's prototype middlebox application: "a simple HTTP proxy that
+// performs HTTP header insertion" (§5). Implemented as a stateful mbTLS
+// record processor: it reassembles the HTTP request stream, inserts a header
+// into each request, and re-emits the bytes.
+#pragma once
+
+#include "http/http.h"
+#include "mbtls/middlebox.h"
+
+namespace mbtls::mbox {
+
+class HeaderInsertionProxy {
+ public:
+  HeaderInsertionProxy(std::string header_name, std::string header_value)
+      : header_name_(std::move(header_name)), header_value_(std::move(header_value)) {}
+
+  /// Adapt into the mbTLS middlebox processor interface.
+  mb::Middlebox::Processor processor();
+
+  std::uint64_t requests_seen() const { return requests_seen_; }
+
+ private:
+  Bytes process(bool client_to_server, ByteView data);
+
+  std::string header_name_;
+  std::string header_value_;
+  http::RequestParser request_parser_;
+  std::uint64_t requests_seen_ = 0;
+};
+
+}  // namespace mbtls::mbox

@@ -1,0 +1,83 @@
+#include "mbox/ids.h"
+
+#include <deque>
+
+namespace mbtls::mbox {
+
+IntrusionDetector::IntrusionDetector(std::vector<std::string> signatures)
+    : signatures_(std::move(signatures)) {
+  build();
+}
+
+void IntrusionDetector::build() {
+  nodes_.clear();
+  nodes_.emplace_back();  // root
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    int node = 0;
+    for (const char c : signatures_[i]) {
+      const auto byte = static_cast<std::uint8_t>(c);
+      auto it = nodes_[static_cast<std::size_t>(node)].next.find(byte);
+      if (it == nodes_[static_cast<std::size_t>(node)].next.end()) {
+        nodes_[static_cast<std::size_t>(node)].next[byte] = static_cast<int>(nodes_.size());
+        node = static_cast<int>(nodes_.size());
+        nodes_.emplace_back();
+      } else {
+        node = it->second;
+      }
+    }
+    nodes_[static_cast<std::size_t>(node)].matches.push_back(static_cast<int>(i));
+  }
+  // BFS to set failure links.
+  std::deque<int> queue;
+  for (const auto& [byte, child] : nodes_[0].next) queue.push_back(child);
+  while (!queue.empty()) {
+    const int node = queue.front();
+    queue.pop_front();
+    for (const auto& [byte, child] : nodes_[static_cast<std::size_t>(node)].next) {
+      queue.push_back(child);
+      int fail = nodes_[static_cast<std::size_t>(node)].fail;
+      while (fail != 0 && !nodes_[static_cast<std::size_t>(fail)].next.count(byte))
+        fail = nodes_[static_cast<std::size_t>(fail)].fail;
+      const auto it = nodes_[static_cast<std::size_t>(fail)].next.find(byte);
+      const int target = (it != nodes_[static_cast<std::size_t>(fail)].next.end() &&
+                          it->second != child)
+                             ? it->second
+                             : 0;
+      nodes_[static_cast<std::size_t>(child)].fail = target;
+      // Inherit matches through the failure link.
+      const auto& inherited = nodes_[static_cast<std::size_t>(target)].matches;
+      auto& own = nodes_[static_cast<std::size_t>(child)].matches;
+      own.insert(own.end(), inherited.begin(), inherited.end());
+    }
+  }
+}
+
+mb::Middlebox::Processor IntrusionDetector::processor() {
+  return [this](bool c2s, ByteView data) { return process(c2s, data); };
+}
+
+void IntrusionDetector::scan(bool client_to_server, ByteView data, int& state,
+                             std::uint64_t& offset) {
+  for (const auto byte : data) {
+    while (state != 0 && !nodes_[static_cast<std::size_t>(state)].next.count(byte))
+      state = nodes_[static_cast<std::size_t>(state)].fail;
+    const auto it = nodes_[static_cast<std::size_t>(state)].next.find(byte);
+    state = it != nodes_[static_cast<std::size_t>(state)].next.end() ? it->second : 0;
+    for (const int sig : nodes_[static_cast<std::size_t>(state)].matches) {
+      alerts_.push_back(
+          {signatures_[static_cast<std::size_t>(sig)], client_to_server, offset});
+    }
+    ++offset;
+  }
+}
+
+Bytes IntrusionDetector::process(bool client_to_server, ByteView data) {
+  if (client_to_server) {
+    scan(true, data, state_c2s_, offset_c2s_);
+  } else {
+    scan(false, data, state_s2c_, offset_s2c_);
+  }
+  return to_bytes(data);
+}
+
+}  // namespace mbtls::mbox

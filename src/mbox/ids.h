@@ -1,0 +1,46 @@
+// Pattern-matching intrusion detection middlebox (the BlindBox-style
+// workload class). Scans the reassembled plaintext stream for signature
+// strings (Aho-Corasick over a fixed rule set) and raises alerts; traffic
+// passes through unmodified.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbtls/middlebox.h"
+
+namespace mbtls::mbox {
+
+class IntrusionDetector {
+ public:
+  explicit IntrusionDetector(std::vector<std::string> signatures);
+
+  mb::Middlebox::Processor processor();
+
+  struct Alert {
+    std::string signature;
+    bool client_to_server;
+    std::uint64_t stream_offset;
+  };
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+ private:
+  // Aho-Corasick automaton.
+  struct Node {
+    std::map<std::uint8_t, int> next;
+    int fail = 0;
+    std::vector<int> matches;  // signature indices ending here
+  };
+  void build();
+  Bytes process(bool client_to_server, ByteView data);
+  void scan(bool client_to_server, ByteView data, int& state, std::uint64_t& offset);
+
+  std::vector<std::string> signatures_;
+  std::vector<Node> nodes_;
+  int state_c2s_ = 0, state_s2c_ = 0;
+  std::uint64_t offset_c2s_ = 0, offset_s2c_ = 0;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace mbtls::mbox

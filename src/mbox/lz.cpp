@@ -1,0 +1,118 @@
+#include "mbox/lz.h"
+
+#include <array>
+
+namespace mbtls::mbox {
+
+namespace {
+constexpr std::size_t kWindow = 4096;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 18;
+}  // namespace
+
+Bytes lz_compress(ByteView input) {
+  Bytes out;
+  // Hash chains over 3-byte prefixes for match finding.
+  std::array<int, 1 << 13> head;
+  head.fill(-1);
+  std::vector<int> prev(input.size(), -1);
+  auto hash3 = [&](std::size_t i) {
+    return ((input[i] << 6) ^ (input[i + 1] << 3) ^ input[i + 2]) & 0x1fff;
+  };
+
+  std::size_t pos = 0;
+  std::uint8_t flags = 0;
+  int flag_bits = 0;
+  std::size_t flag_at = 0;
+
+  auto begin_group = [&] {
+    flag_at = out.size();
+    out.push_back(0);
+    flags = 0;
+    flag_bits = 0;
+  };
+  auto end_token = [&](bool is_match) {
+    if (is_match) flags |= static_cast<std::uint8_t>(1 << flag_bits);
+    if (++flag_bits == 8) {
+      out[flag_at] = flags;
+      begin_group();
+    }
+  };
+
+  begin_group();
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (pos + kMinMatch <= input.size()) {
+      int candidate = head[static_cast<std::size_t>(hash3(pos))];
+      int tries = 32;
+      while (candidate >= 0 && tries-- > 0 &&
+             pos - static_cast<std::size_t>(candidate) <= kWindow) {
+        std::size_t len = 0;
+        const std::size_t limit = std::min(kMaxMatch, input.size() - pos);
+        while (len < limit &&
+               input[static_cast<std::size_t>(candidate) + len] == input[pos + len])
+          ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = pos - static_cast<std::size_t>(candidate);
+        }
+        candidate = prev[static_cast<std::size_t>(candidate)];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      const std::uint16_t token = static_cast<std::uint16_t>(
+          ((best_off - 1) & 0xfff) | ((best_len - kMinMatch) << 12));
+      out.push_back(static_cast<std::uint8_t>(token & 0xff));
+      out.push_back(static_cast<std::uint8_t>(token >> 8));
+      end_token(true);
+      // Advance past the match, inserting hash entries where a full 3-byte
+      // prefix still exists.
+      for (std::size_t i = 0; i < best_len; ++i, ++pos) {
+        if (pos + kMinMatch <= input.size()) {
+          const auto h = static_cast<std::size_t>(hash3(pos));
+          prev[pos] = head[h];
+          head[h] = static_cast<int>(pos);
+        }
+      }
+    } else {
+      if (pos + kMinMatch <= input.size()) {
+        const auto h = static_cast<std::size_t>(hash3(pos));
+        prev[pos] = head[h];
+        head[h] = static_cast<int>(pos);
+      }
+      out.push_back(input[pos]);
+      end_token(false);
+      ++pos;
+    }
+  }
+  out[flag_at] = flags;
+  if (flag_bits == 0 && out.size() == flag_at + 1) out.pop_back();  // empty trailing group
+  return out;
+}
+
+std::optional<Bytes> lz_decompress(ByteView input) {
+  Bytes out;
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const std::uint8_t flags = input[pos++];
+    for (int bit = 0; bit < 8 && pos < input.size(); ++bit) {
+      if (flags & (1 << bit)) {
+        if (pos + 2 > input.size()) return std::nullopt;
+        const std::uint16_t token =
+            static_cast<std::uint16_t>(input[pos] | (input[pos + 1] << 8));
+        pos += 2;
+        const std::size_t offset = static_cast<std::size_t>(token & 0xfff) + 1;
+        const std::size_t length = static_cast<std::size_t>(token >> 12) + kMinMatch;
+        if (offset > out.size()) return std::nullopt;
+        for (std::size_t i = 0; i < length; ++i)
+          out.push_back(out[out.size() - offset]);
+      } else {
+        out.push_back(input[pos++]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mbtls::mbox

@@ -1,0 +1,21 @@
+// LZSS-style compression codec (from scratch) used by the compression-proxy
+// middlebox pair — the "compression proxy" workload the paper's introduction
+// motivates (e.g. Google Flywheel).
+//
+// Format: a stream of flag-prefixed tokens. Each flag byte covers 8 tokens,
+// LSB first: bit 0 = literal byte, bit 1 = match (2-byte little-endian
+// <offset:12, length-3:4>). Window 4096 bytes, match length 3-18.
+#pragma once
+
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace mbtls::mbox {
+
+Bytes lz_compress(ByteView input);
+
+/// Returns nullopt on malformed input.
+std::optional<Bytes> lz_decompress(ByteView input);
+
+}  // namespace mbtls::mbox

@@ -1,0 +1,79 @@
+// mbTLS client endpoint (§3.4).
+//
+// Owns the primary TLS engine (whose ClientHello carries the
+// MiddleboxSupport extension) plus one secondary engine per discovered or
+// pre-configured client-side middlebox. Secondary handshakes ride the same
+// byte stream inside Encapsulated records; once the primary handshake and
+// every secondary handshake complete, the client generates unique per-hop
+// keys, ships them in MBTLSKeyMaterial records over the secondary sessions,
+// and switches its data path to the hop adjacent to it.
+#pragma once
+
+#include <map>
+
+#include "mbtls/types.h"
+
+namespace mbtls::mb {
+
+class ClientSession {
+ public:
+  struct Options {
+    tls::Config tls;  // is_client forced true
+    bool announce_mbtls = true;
+    std::vector<std::string> known_middleboxes;
+    bool require_middlebox_attestation = false;
+    Bytes expected_middlebox_measurement;
+    ApprovalCallback approve;  // default: accept every verified middlebox
+  };
+
+  explicit ClientSession(Options options);
+
+  /// Emit the primary ClientHello.
+  void start();
+
+  void feed(ByteView transport_bytes);
+  Bytes take_output();
+
+  void send(ByteView application_data);
+  Bytes take_app_data();
+  void close();
+
+  SessionStatus status() const { return status_; }
+  bool established() const { return status_ == SessionStatus::kEstablished; }
+  bool failed() const { return status_ == SessionStatus::kFailed; }
+  const std::string& error_message() const { return error_; }
+
+  /// Client-side middleboxes in path order (closest to the server first).
+  std::vector<MiddleboxDescriptor> middleboxes() const;
+
+  const tls::Engine& primary() const { return primary_; }
+
+ private:
+  struct Secondary {
+    std::unique_ptr<tls::Engine> engine;
+    MiddleboxDescriptor descriptor;
+    bool approved = false;
+  };
+
+  void handle_record(const tls::Record& record);
+  void handle_encapsulated(ByteView payload);
+  void handle_data_record(const tls::Record& record);
+  void pump_secondary(std::uint8_t sub, Secondary& sec);
+  void drain_primary();
+  void maybe_finish_setup();
+  void distribute_keys();
+  void fail(const std::string& message);
+
+  Options options_;
+  tls::Engine primary_;
+  std::map<std::uint8_t, Secondary> secondaries_;
+  tls::RecordReader reader_;
+  crypto::Drbg hop_rng_;
+  Bytes out_;
+  Bytes app_in_;
+  std::optional<HopDuplex> data_path_;  // hop adjacent to the client
+  SessionStatus status_ = SessionStatus::kHandshaking;
+  std::string error_;
+};
+
+}  // namespace mbtls::mb

@@ -1,0 +1,385 @@
+#include "mbtls/middlebox.h"
+
+namespace mbtls::mb {
+
+namespace {
+tls::Record parse_record_header(const Bytes& raw) {
+  tls::Record rec;
+  rec.type = static_cast<tls::ContentType>(raw[0]);
+  rec.payload.assign(raw.begin() + tls::kRecordHeaderSize, raw.end());
+  return rec;
+}
+
+std::optional<tls::HandshakeType> first_handshake_type(const tls::Record& rec) {
+  if (rec.type != tls::ContentType::kHandshake || rec.payload.empty()) return std::nullopt;
+  return static_cast<tls::HandshakeType>(rec.payload[0]);
+}
+}  // namespace
+
+Middlebox::Middlebox(Options options) : options_(std::move(options)) {}
+
+sgx::MemoryStore* Middlebox::key_store() {
+  if (options_.enclave) return &options_.enclave->memory();
+  return options_.untrusted_store;
+}
+
+void Middlebox::feed_from_client(ByteView data) {
+  // A middlebox must never take a session down because *it* failed to make
+  // sense of the stream: on any parse error it becomes a transparent relay
+  // and forwards the bytes (the endpoints' own MACs and state machines
+  // remain the arbiters of validity).
+  try {
+    down_reader_.feed(data);
+    while (auto raw = down_reader_.take_raw()) handle_downstream_record(std::move(*raw));
+  } catch (const std::exception&) {
+    demote_to_relay();
+    append(to_server_, data);
+  }
+}
+
+void Middlebox::feed_from_server(ByteView data) {
+  try {
+    up_reader_.feed(data);
+    while (auto raw = up_reader_.take_raw()) handle_upstream_record(std::move(*raw));
+  } catch (const std::exception&) {
+    demote_to_relay();
+    append(to_client_, data);
+  }
+}
+
+// ------------------------------------------------------------- discovery
+
+void Middlebox::on_client_hello(const tls::Record& record, const Bytes& raw) {
+  saw_client_hello_ = true;
+  tls::HandshakeReassembler reasm;
+  reasm.feed(record.payload);
+  const auto msg = reasm.next();
+  if (!msg || msg->type != tls::HandshakeType::kClientHello) {
+    demote_to_relay();
+    append(to_server_, raw);
+    return;
+  }
+  const tls::ClientHello hello = tls::ClientHello::parse(msg->body);
+
+  if (options_.side == Side::kClientSide) {
+    // Join only when the client advertises mbTLS support.
+    if (!hello.find_extension(tls::kExtMiddleboxSupport) || options_.peer_known_legacy) {
+      if (!hello.find_extension(tls::kExtMiddleboxSupport)) observed_legacy_peer_ = true;
+      demote_to_relay();
+      append(to_server_, raw);
+      return;
+    }
+    mode_ = Mode::kJoining;
+    create_secondary(record);
+    // Secondary output (our ServerHello flight) is buffered until the
+    // primary ServerHello passes and we claim a subchannel.
+    append(to_server_, raw);
+    return;
+  }
+
+  // Server side: announce, forward the hello, claim the next subchannel
+  // (one per announcement seen so far), and inject our flight toward the
+  // server immediately (its secondary ClientHello is the primary one).
+  if (options_.peer_known_legacy) {
+    demote_to_relay();
+    append(to_server_, raw);
+    return;
+  }
+  mode_ = Mode::kJoining;
+  append(to_server_, tls::frame_plaintext_record(
+                         tls::ContentType::kMbtlsMiddleboxAnnouncement, {}));
+  append(to_server_, raw);
+  subchannel_ = static_cast<std::uint8_t>(announcements_seen_downstream_ + 1);
+  subchannel_assigned_ = true;
+  create_secondary(record);
+  drain_secondary();
+}
+
+void Middlebox::create_secondary(const tls::Record& client_hello_record) {
+  tls::Config cfg;
+  cfg.is_client = false;
+  if (!options_.cipher_suites.empty()) cfg.cipher_suites = options_.cipher_suites;
+  cfg.private_key = options_.private_key;
+  cfg.certificate_chain = options_.certificate_chain;
+  cfg.enclave = options_.enclave;
+  cfg.attest_unsolicited = options_.enclave != nullptr;
+  cfg.secret_store = key_store();
+  cfg.secret_prefix = options_.name + "/secondary/";
+  cfg.now = options_.now;
+  cfg.rng_label = options_.name + "/secondary";
+  cfg.session_cache = options_.session_cache;
+  secondary_ = std::make_unique<tls::Engine>(std::move(cfg));
+  secondary_->on_typed_record = [this](tls::ContentType type, ByteView plaintext) {
+    if (type != tls::ContentType::kMbtlsKeyMaterial) return;
+    const auto msg = tls::KeyMaterialMsg::parse(plaintext);
+    if (msg) install_keys(*msg);
+  };
+  secondary_->feed_record(client_hello_record);
+}
+
+void Middlebox::feed_secondary(ByteView inner_record_bytes) {
+  if (!secondary_) return;
+  tls::RecordReader inner;
+  inner.feed(inner_record_bytes);
+  while (auto rec = inner.next()) secondary_->feed_record(*rec);
+  drain_secondary();
+  maybe_cache_session();
+}
+
+void Middlebox::maybe_cache_session() {
+  // §3.5: remember this secondary session under the *primary* session's ID
+  // so a future ClientHello offering that ID resumes every sub-handshake.
+  if (session_cached_ || !options_.session_cache || !secondary_ ||
+      !secondary_->handshake_done() || primary_session_id_.empty()) {
+    return;
+  }
+  tls::SessionState state;
+  state.session_id = primary_session_id_;
+  state.suite = secondary_->suite().id;
+  state.master_secret = secondary_->master_secret();
+  options_.session_cache->store_by_id(state);
+  session_cached_ = true;
+}
+
+void Middlebox::drain_secondary() {
+  if (!secondary_) return;
+  for (auto& record : secondary_->take_output_records()) {
+    tls::EncapsulatedRecord enc;
+    enc.subchannel = subchannel_;
+    enc.inner_record = std::move(record);
+    const Bytes framed =
+        tls::frame_plaintext_record(tls::ContentType::kMbtlsEncapsulated, enc.encode());
+    if (subchannel_assigned_) {
+      append(endpoint_out(), framed);
+    } else {
+      secondary_out_buffer_.push_back(framed);
+    }
+  }
+  if (secondary_->failed()) demote_to_relay();
+}
+
+void Middlebox::install_keys(const tls::KeyMaterialMsg& msg) {
+  const auto info = tls::suite_info(msg.cipher_suite);
+  if (!info) {
+    demote_to_relay();
+    return;
+  }
+  toward_client_.emplace(msg.toward_client, info->key_len);
+  toward_server_.emplace(msg.toward_server, info->key_len);
+  joined_ = true;
+  if (auto* store = key_store()) {
+    store->put(options_.name + "/hop_toward_client_c2s", msg.toward_client.client_to_server_key);
+    store->put(options_.name + "/hop_toward_client_s2c", msg.toward_client.server_to_client_key);
+    store->put(options_.name + "/hop_toward_server_c2s", msg.toward_server.client_to_server_key);
+    store->put(options_.name + "/hop_toward_server_s2c", msg.toward_server.server_to_client_key);
+  }
+  flush_buffered();
+}
+
+void Middlebox::demote_to_relay() {
+  mode_ = Mode::kRelay;
+  secondary_.reset();
+  // Anything buffered is forwarded verbatim.
+  for (auto& framed : secondary_out_buffer_) (void)framed;  // never sent
+  secondary_out_buffer_.clear();
+  for (auto& b : buffered_data_) {
+    append(b.from_client ? to_server_ : to_client_, b.raw);
+  }
+  buffered_data_.clear();
+}
+
+void Middlebox::flush_buffered() {
+  while (!buffered_data_.empty()) {
+    Buffered b = std::move(buffered_data_.front());
+    buffered_data_.pop_front();
+    if (b.from_client)
+      reprotect_c2s(b.record);
+    else
+      reprotect_s2c(b.record);
+  }
+}
+
+// ------------------------------------------------------------ re-protection
+
+void Middlebox::reprotect_c2s(const tls::Record& record) {
+  auto opened = toward_client_->open_c2s(record.type, record.payload);
+  if (!opened) {
+    ++auth_failures_;
+    return;  // P2/P4: unauthenticated or out-of-path record is discarded
+  }
+  Bytes payload = std::move(*opened);
+  if (record.type == tls::ContentType::kApplicationData && options_.processor) {
+    payload = options_.processor(/*client_to_server=*/true, payload);
+  }
+  bytes_processed_ += payload.size();
+  ++records_reprotected_;
+  append(to_server_, toward_server_->seal_c2s(record.type, payload));
+}
+
+void Middlebox::reprotect_s2c(const tls::Record& record) {
+  auto opened = toward_server_->open_s2c(record.type, record.payload);
+  if (!opened) {
+    ++auth_failures_;
+    return;
+  }
+  Bytes payload = std::move(*opened);
+  if (record.type == tls::ContentType::kApplicationData && options_.processor) {
+    payload = options_.processor(/*client_to_server=*/false, payload);
+  }
+  bytes_processed_ += payload.size();
+  ++records_reprotected_;
+  append(to_client_, toward_client_->seal_s2c(record.type, payload));
+}
+
+// ------------------------------------------------------------ record loops
+
+void Middlebox::handle_downstream_record(Bytes raw) {
+  const tls::Record record = parse_record_header(raw);
+
+  if (mode_ == Mode::kRelay) {
+    append(to_server_, raw);
+    return;
+  }
+
+  if (!saw_client_hello_) {
+    if (first_handshake_type(record) == tls::HandshakeType::kClientHello) {
+      on_client_hello(record, raw);
+      return;
+    }
+    if (record.type == tls::ContentType::kMbtlsMiddleboxAnnouncement) {
+      // Another middlebox (closer to the client) claiming a server-side slot.
+      ++announcements_seen_downstream_;
+      append(to_server_, raw);
+      return;
+    }
+    // Unknown pre-hello traffic: relay.
+    append(to_server_, raw);
+    return;
+  }
+
+  switch (record.type) {
+    case tls::ContentType::kMbtlsEncapsulated: {
+      const auto enc = tls::EncapsulatedRecord::parse(record.payload);
+      if (enc && options_.side == Side::kClientSide && subchannel_assigned_ &&
+          enc->subchannel == subchannel_) {
+        feed_secondary(enc->inner_record);
+        return;
+      }
+      append(to_server_, raw);
+      return;
+    }
+    case tls::ContentType::kMbtlsMiddleboxAnnouncement:
+      ++announcements_seen_downstream_;
+      append(to_server_, raw);
+      return;
+    case tls::ContentType::kApplicationData:
+      if (joined_) {
+        reprotect_c2s(record);
+      } else if (mode_ == Mode::kJoining && secondary_ && secondary_->handshake_done()) {
+        buffered_data_.push_back({true, record, std::move(raw)});
+      } else {
+        // The session went to data phase without us: the peer is legacy.
+        observed_legacy_peer_ = options_.side == Side::kServerSide;
+        demote_to_relay();
+        append(to_server_, raw);
+      }
+      return;
+    case tls::ContentType::kAlert:
+      if (joined_) {
+        reprotect_c2s(record);
+      } else {
+        append(to_server_, raw);
+      }
+      return;
+    default:
+      // Primary handshake traffic: cut-through forward.
+      append(to_server_, raw);
+      return;
+  }
+}
+
+void Middlebox::handle_upstream_record(Bytes raw) {
+  const tls::Record record = parse_record_header(raw);
+
+  if (mode_ == Mode::kRelay) {
+    append(to_client_, raw);
+    return;
+  }
+
+  switch (record.type) {
+    case tls::ContentType::kMbtlsEncapsulated: {
+      const auto enc = tls::EncapsulatedRecord::parse(record.payload);
+      if (enc && options_.side == Side::kServerSide && subchannel_assigned_ &&
+          enc->subchannel == subchannel_) {
+        feed_secondary(enc->inner_record);
+        return;
+      }
+      if (enc && options_.side == Side::kClientSide) {
+        max_subchannel_seen_upstream_ = std::max(max_subchannel_seen_upstream_, enc->subchannel);
+      }
+      append(to_client_, raw);
+      return;
+    }
+    case tls::ContentType::kHandshake: {
+      // Observe the primary ServerHello: remember the primary session ID
+      // (the resumption cache key, §3.5) and — on the client side — claim a
+      // subchannel, injecting our secondary ServerHello ahead of it so the
+      // next middlebox toward the client numbers itself after us (§3.4).
+      if (mode_ == Mode::kJoining && primary_session_id_.empty() &&
+          first_handshake_type(record) == tls::HandshakeType::kServerHello) {
+        tls::HandshakeReassembler reasm;
+        reasm.feed(record.payload);
+        if (const auto msg = reasm.next()) {
+          try {
+            primary_session_id_ = tls::ServerHello::parse(msg->body).session_id;
+            maybe_cache_session();
+          } catch (const tls::ProtocolError&) {
+          }
+        }
+      }
+      if (options_.side == Side::kClientSide && mode_ == Mode::kJoining &&
+          !subchannel_assigned_ &&
+          first_handshake_type(record) == tls::HandshakeType::kServerHello) {
+        subchannel_ = static_cast<std::uint8_t>(max_subchannel_seen_upstream_ + 1);
+        subchannel_assigned_ = true;
+        // Inject our secondary ServerHello *before* forwarding the primary
+        // one, so the next middlebox toward the client sees our subchannel
+        // claim first and numbers itself after us (paper §3.4).
+        for (auto& framed : secondary_out_buffer_) append(to_client_, framed);
+        secondary_out_buffer_.clear();
+        drain_secondary();
+        append(to_client_, raw);
+        return;
+      }
+      append(to_client_, raw);
+      return;
+    }
+    case tls::ContentType::kApplicationData:
+      if (joined_) {
+        reprotect_s2c(record);
+      } else if (mode_ == Mode::kJoining && secondary_ && secondary_->handshake_done()) {
+        buffered_data_.push_back({false, record, std::move(raw)});
+      } else {
+        observed_legacy_peer_ = options_.side == Side::kServerSide;
+        demote_to_relay();
+        append(to_client_, raw);
+      }
+      return;
+    case tls::ContentType::kAlert:
+      if (joined_) {
+        reprotect_s2c(record);
+      } else {
+        // A fatal alert during the handshake may mean a strict legacy server
+        // choked on our announcement (§3.4): remember that.
+        if (options_.side == Side::kServerSide && mode_ == Mode::kJoining && !joined_)
+          observed_legacy_peer_ = true;
+        append(to_client_, raw);
+      }
+      return;
+    default:
+      append(to_client_, raw);
+      return;
+  }
+}
+
+}  // namespace mbtls::mb

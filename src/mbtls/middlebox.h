@@ -1,0 +1,139 @@
+// mbTLS middlebox runtime (§3.4): one instance per spliced connection.
+//
+// The middlebox sits between two TCP segments ("downstream" toward the
+// client, "upstream" toward the server) and:
+//  * decides, from the ClientHello, whether to join the session (client-side
+//    mode requires the MiddleboxSupport extension; server-side mode
+//    announces itself with a MiddleboxAnnouncement and joins regardless of
+//    client support),
+//  * cut-through forwards all primary-handshake records,
+//  * runs a secondary TLS handshake with its endpoint — playing the TLS
+//    *server* role, with the primary ClientHello serving double duty — over
+//    Encapsulated records on its own subchannel,
+//  * receives MBTLSKeyMaterial for its two adjacent hops, and thereafter
+//    re-protects every data record: open with the inbound hop keys, run the
+//    application processor, seal with the outbound hop keys,
+//  * falls back to pure relay mode when the session is not mbTLS (legacy
+//    client without the extension / legacy server that ignores
+//    announcements), caching that fact (observed_legacy_peer).
+//
+// When an enclave is configured, session secrets (secondary-session keys and
+// the installed hop keys) live in enclave memory; otherwise they are written
+// to the untrusted store, which is exactly what the Table-1 infrastructure
+// adversary reads.
+#pragma once
+
+#include <deque>
+
+#include "mbtls/types.h"
+
+namespace mbtls::mb {
+
+class Middlebox {
+ public:
+  enum class Side { kClientSide, kServerSide };
+
+  /// Application hook: transform one record's worth of application data.
+  /// `client_to_server` gives the direction. Return the (possibly modified)
+  /// payload.
+  using Processor = std::function<Bytes(bool client_to_server, ByteView data)>;
+
+  struct Options {
+    std::string name;
+    Side side = Side::kClientSide;
+    std::shared_ptr<x509::PrivateKey> private_key;
+    std::vector<x509::Certificate> certificate_chain;
+    std::vector<tls::CipherSuite> cipher_suites;  // empty = engine defaults
+    sgx::Enclave* enclave = nullptr;              // secure execution environment
+    sgx::MemoryStore* untrusted_store = nullptr;  // where keys land without one
+    Processor processor;                          // identity when empty
+    bool peer_known_legacy = false;               // cached: don't announce (§3.4)
+    std::int64_t now = 1500000000;
+    /// Session resumption (§3.5): secondary-session state is cached keyed by
+    /// the *primary* session's ID (which every middlebox observes in the
+    /// hellos), so the one session ID the shared ClientHello carries lets
+    /// each party resume its own sub-handshake.
+    tls::SessionCache* session_cache = nullptr;
+  };
+
+  explicit Middlebox(Options options);
+
+  // Byte-stream interface; the owner splices two transport connections.
+  void feed_from_client(ByteView data);
+  void feed_from_server(ByteView data);
+  Bytes take_to_client() { return std::move(to_client_); }
+  Bytes take_to_server() { return std::move(to_server_); }
+
+  /// Joined the session with hop keys installed.
+  bool joined() const { return joined_; }
+  /// Secondary handshake completed via abbreviated resumption.
+  bool resumed() const { return secondary_ && secondary_->resumed(); }
+  /// Demoted (or configured) to transparent forwarding.
+  bool relay_mode() const { return mode_ == Mode::kRelay; }
+  /// True when the far endpoint turned out not to speak mbTLS — the paper's
+  /// middleboxes cache this and stop announcing to that peer.
+  bool observed_legacy_peer() const { return observed_legacy_peer_; }
+  std::uint8_t subchannel() const { return subchannel_; }
+  const std::string& name() const { return options_.name; }
+
+  std::uint64_t records_reprotected() const { return records_reprotected_; }
+  std::uint64_t bytes_processed() const { return bytes_processed_; }
+  std::uint64_t auth_failures() const { return auth_failures_; }
+
+ private:
+  enum class Mode { kUndecided, kJoining, kRelay };
+
+  void handle_downstream_record(Bytes raw);  // arriving from the client
+  void handle_upstream_record(Bytes raw);    // arriving from the server
+  void on_client_hello(const tls::Record& record, const Bytes& raw);
+  void create_secondary(const tls::Record& client_hello_record);
+  void feed_secondary(ByteView inner_record_bytes);
+  void drain_secondary();
+  void install_keys(const tls::KeyMaterialMsg& msg);
+  void maybe_cache_session();
+  void reprotect_c2s(const tls::Record& record);
+  void reprotect_s2c(const tls::Record& record);
+  void flush_buffered();
+  void demote_to_relay();
+  Bytes& endpoint_out() {
+    return options_.side == Side::kClientSide ? to_client_ : to_server_;
+  }
+  sgx::MemoryStore* key_store();
+
+  Options options_;
+  Mode mode_ = Mode::kUndecided;
+  bool saw_client_hello_ = false;
+  bool subchannel_assigned_ = false;
+  std::uint8_t subchannel_ = 0;
+  bool joined_ = false;
+  bool observed_legacy_peer_ = false;
+
+  // Discovery bookkeeping.
+  std::uint8_t max_subchannel_seen_upstream_ = 0;   // client side assignment
+  std::size_t announcements_seen_downstream_ = 0;   // server side assignment
+  Bytes primary_session_id_;                        // from the primary ServerHello
+  bool session_cached_ = false;
+
+  std::unique_ptr<tls::Engine> secondary_;
+  std::vector<Bytes> secondary_out_buffer_;  // held until subchannel assigned
+
+  std::optional<HopDuplex> toward_client_;
+  std::optional<HopDuplex> toward_server_;
+
+  // Data records that arrived before key material (False-Start-like, §3.5).
+  struct Buffered {
+    bool from_client;
+    tls::Record record;
+    Bytes raw;
+  };
+  std::deque<Buffered> buffered_data_;
+
+  tls::RecordReader down_reader_, up_reader_;
+  Bytes to_client_, to_server_;
+
+  std::uint64_t records_reprotected_ = 0;
+  std::uint64_t bytes_processed_ = 0;
+  std::uint64_t auth_failures_ = 0;
+};
+
+}  // namespace mbtls::mb

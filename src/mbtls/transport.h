@@ -1,0 +1,91 @@
+// Glue between the sans-IO mbTLS components and the simulated network's TCP
+// sockets. Each binder wires a component's input to socket data events and
+// flushes its pending output back to the socket after every event.
+#pragma once
+
+#include "mbtls/client.h"
+#include "mbtls/middlebox.h"
+#include "mbtls/server.h"
+#include "net/tcp.h"
+#include "tls/engine.h"
+
+namespace mbtls::mb {
+
+/// Binds anything with feed()/take_output() (ClientSession, ServerSession,
+/// tls::Engine) to one socket.
+template <typename Session>
+class SocketBinding {
+ public:
+  SocketBinding(Session& session, net::Socket& socket) : session_(session), socket_(socket) {
+    socket_.on_data = [this](ByteView data) {
+      session_.feed(data);
+      flush();
+    };
+  }
+
+  /// Push any pending output (call after start() or send()).
+  void flush() {
+    const Bytes out = session_.take_output();
+    if (!out.empty() && socket_.established()) {
+      socket_.send(out);
+    } else if (!out.empty()) {
+      pending_ = concat({pending_, out});
+      socket_.on_connect = [this] { drain_pending(); };
+    }
+  }
+
+ private:
+  void drain_pending() {
+    if (!pending_.empty()) {
+      socket_.send(pending_);
+      pending_.clear();
+    }
+  }
+
+  Session& session_;
+  net::Socket& socket_;
+  Bytes pending_;
+};
+
+/// Binds a Middlebox between two sockets (downstream toward the client,
+/// upstream toward the server).
+class MiddleboxBinding {
+ public:
+  MiddleboxBinding(Middlebox& mbox, net::Socket& downstream, net::Socket& upstream)
+      : mbox_(mbox), down_(downstream), up_(upstream) {
+    down_.on_data = [this](ByteView data) {
+      mbox_.feed_from_client(data);
+      flush();
+    };
+    up_.on_data = [this](ByteView data) {
+      mbox_.feed_from_server(data);
+      flush();
+    };
+    up_.on_connect = [this] { flush(); };
+  }
+
+  void flush() {
+    const Bytes to_server = mbox_.take_to_server();
+    if (!to_server.empty()) {
+      if (up_.established()) {
+        up_.send(to_server);
+      } else {
+        pending_up_ = concat({pending_up_, to_server});
+      }
+    }
+    if (!pending_up_.empty() && up_.established()) {
+      up_.send(pending_up_);
+      pending_up_.clear();
+    }
+    const Bytes to_client = mbox_.take_to_client();
+    if (!to_client.empty()) down_.send(to_client);
+  }
+
+ private:
+  Middlebox& mbox_;
+  net::Socket& down_;
+  net::Socket& up_;
+  Bytes pending_up_;
+};
+
+}  // namespace mbtls::mb

@@ -1,0 +1,148 @@
+#include "net/network.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace mbtls::net {
+
+Network::Network(Simulator& sim, std::uint64_t loss_seed)
+    : sim_(sim), loss_rng_("net-loss", loss_seed) {}
+
+NodeId Network::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  handlers_.emplace_back();
+  next_hop_.clear();  // invalidate routes
+  return static_cast<NodeId>(names_.size() - 1);
+}
+
+void Network::add_link(NodeId a, NodeId b, const LinkConfig& config) {
+  if (a >= names_.size() || b >= names_.size() || a == b)
+    throw std::invalid_argument("add_link: bad endpoints");
+  links_.push_back(std::make_unique<Link>(Link{a, b, config, 0, 0, {}}));
+  adjacency_[a].push_back(links_.back().get());
+  adjacency_[b].push_back(links_.back().get());
+  next_hop_.clear();
+}
+
+Network::Link* Network::find_link(NodeId a, NodeId b) {
+  for (auto& l : links_) {
+    if ((l->a == a && l->b == b) || (l->a == b && l->b == a)) return l.get();
+  }
+  return nullptr;
+}
+
+void Network::add_tap(NodeId a, NodeId b, LinkTap tap) {
+  Link* link = find_link(a, b);
+  if (!link) throw std::invalid_argument("add_tap: no such link");
+  link->taps.push_back(std::move(tap));
+}
+
+void Network::set_delivery_handler(NodeId node, DeliveryHandler handler) {
+  handlers_.at(node) = std::move(handler);
+}
+
+void Network::recompute_routes() {
+  const std::size_t n = names_.size();
+  next_hop_.assign(n, std::vector<NodeId>(n, std::numeric_limits<NodeId>::max()));
+  // Dijkstra from every source over propagation delay.
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<Time> dist(n, std::numeric_limits<Time>::max());
+    std::vector<NodeId> prev(n, std::numeric_limits<NodeId>::max());
+    using Entry = std::pair<Time, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    dist[src] = 0;
+    pq.push({0, src});
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (const Link* l : adjacency_[u]) {
+        const NodeId v = l->a == u ? l->b : l->a;
+        const Time nd = d + l->config.propagation + 1;  // +1 biases to fewer hops
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          prev[v] = u;
+          pq.push({nd, v});
+        }
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (dst == src || prev[dst] == std::numeric_limits<NodeId>::max()) continue;
+      // Walk back from dst to find the first hop out of src.
+      NodeId hop = dst;
+      while (prev[hop] != src) hop = prev[hop];
+      next_hop_[src][dst] = hop;
+    }
+  }
+}
+
+void Network::send(Packet packet) {
+  const NodeId src = packet.src;
+  forward(std::move(packet), src);
+}
+
+void Network::inject(NodeId at_node, Packet packet) { forward(std::move(packet), at_node); }
+
+void Network::forward(Packet packet, NodeId at) {
+  if (next_hop_.empty()) recompute_routes();
+  if (packet.dst >= names_.size()) throw std::invalid_argument("forward: bad destination");
+  if (at == packet.dst) {
+    if (handlers_[at]) {
+      // Deliver through the event queue so handlers never re-enter senders.
+      auto& handler = handlers_[at];
+      sim_.schedule(0, [&handler, p = std::move(packet)]() mutable { handler(p); });
+    }
+    return;
+  }
+  const NodeId hop = next_hop_[at][packet.dst];
+  if (hop == std::numeric_limits<NodeId>::max()) return;  // unroutable: drop
+  Link* link = find_link(at, hop);
+  const bool a_to_b = link->a == at;
+
+  // Taps (filters / attackers) on this link.
+  for (auto& tap : link->taps) {
+    if (tap(packet, a_to_b) == TapVerdict::kDrop) return;
+  }
+
+  // Random loss.
+  if (link->config.loss_rate > 0 && loss_rng_.real() < link->config.loss_rate) return;
+
+  // Serialization + propagation delay.
+  Time tx = 0;
+  Time queue_delay = 0;
+  if (link->config.bandwidth_bps > 0) {
+    tx = static_cast<Time>(static_cast<double>(packet.wire_size()) * 8.0 * kSecond /
+                           link->config.bandwidth_bps);
+    Time& next_free = a_to_b ? link->next_free_a_to_b : link->next_free_b_to_a;
+    const Time start = std::max(sim_.now(), next_free);
+    queue_delay = start - sim_.now();
+    next_free = start + tx;
+  }
+  const Time arrival_delay = queue_delay + tx + link->config.propagation;
+  sim_.schedule(arrival_delay, [this, p = std::move(packet), hop]() mutable {
+    forward(std::move(p), hop);
+  });
+}
+
+Time Network::path_delay(NodeId a, NodeId b) const {
+  if (next_hop_.empty()) const_cast<Network*>(this)->recompute_routes();
+  Time total = 0;
+  NodeId at = a;
+  while (at != b) {
+    const NodeId hop = next_hop_[at][b];
+    if (hop == std::numeric_limits<NodeId>::max())
+      throw std::runtime_error("path_delay: unroutable");
+    for (const Link* l : adjacency_[at]) {
+      if ((l->a == at && l->b == hop) || (l->b == at && l->a == hop)) {
+        total += l->config.propagation;
+        break;
+      }
+    }
+    at = hop;
+  }
+  return total;
+}
+
+}  // namespace mbtls::net

@@ -1,0 +1,34 @@
+#include "net/simulator.h"
+
+#include <stdexcept>
+
+namespace mbtls::net {
+
+void Simulator::schedule(Time delay, std::function<void()> fn) {
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Simulator::run(std::size_t max_events) {
+  while (!queue_.empty()) {
+    if (events_processed_ >= max_events)
+      throw std::runtime_error("Simulator: event budget exhausted (runaway?)");
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++events_processed_;
+    ev.fn();
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++events_processed_;
+    ev.fn();
+  }
+  now_ = deadline;
+}
+
+}  // namespace mbtls::net

@@ -1,0 +1,58 @@
+// Discrete-event simulator core: a virtual clock and an event queue.
+//
+// Every latency experiment (Figure 6, Table 2) runs on virtual time so that
+// results are deterministic and independent of the host machine. Time is in
+// integer microseconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mbtls::net {
+
+using Time = std::uint64_t;  // microseconds of virtual time
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000;
+constexpr Time kSecond = 1000 * 1000;
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` microseconds from now. Events scheduled at
+  /// the same instant run in scheduling order (FIFO), which keeps runs
+  /// reproducible.
+  void schedule(Time delay, std::function<void()> fn);
+
+  /// Run until the event queue drains or `max_events` fire (runaway guard).
+  void run(std::size_t max_events = 10'000'000);
+
+  /// Run until the virtual clock would pass `deadline`.
+  void run_until(Time deadline);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mbtls::net

@@ -1,0 +1,137 @@
+#include "rsa/rsa.h"
+
+#include <stdexcept>
+
+#include "bignum/prime.h"
+
+namespace mbtls::rsa {
+
+using bn::BigInt;
+
+bn::BigInt RsaKeyPair::private_op(const BigInt& m) const {
+  // CRT: m1 = m^dp mod p, m2 = m^dq mod q, h = qinv (m1 - m2) mod p.
+  const BigInt m1 = m.mod_exp(dp, p);
+  const BigInt m2 = m.mod_exp(dq, q);
+  BigInt diff;
+  if (m1 >= m2) {
+    diff = (m1 - m2) % p;
+  } else {
+    diff = p - ((m2 - m1) % p);
+    if (diff == p) diff = BigInt();
+  }
+  const BigInt h = (qinv * diff) % p;
+  return m2 + q * h;
+}
+
+RsaKeyPair rsa_generate(std::size_t bits, crypto::Drbg& rng) {
+  const BigInt e(65537);
+  for (;;) {
+    const BigInt p = bn::generate_prime(bits / 2, rng);
+    const BigInt q = bn::generate_prime(bits - bits / 2, rng);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+    const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (BigInt::gcd(e, phi) != BigInt(1)) continue;
+    RsaKeyPair kp;
+    kp.pub = {n, e};
+    kp.d = e.mod_inverse(phi);
+    // Normalize so that p > q (required for the qinv CRT form used above).
+    kp.p = p >= q ? p : q;
+    kp.q = p >= q ? q : p;
+    kp.dp = kp.d % (kp.p - BigInt(1));
+    kp.dq = kp.d % (kp.q - BigInt(1));
+    kp.qinv = kp.q.mod_inverse(kp.p);
+    return kp;
+  }
+}
+
+namespace {
+
+// DigestInfo prefixes (DER) for PKCS#1 v1.5 signatures, per RFC 8017 §9.2.
+Bytes digest_info_prefix(crypto::HashAlgo algo) {
+  switch (algo) {
+    case crypto::HashAlgo::kSha256:
+      return {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+              0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+    case crypto::HashAlgo::kSha384:
+      return {0x30, 0x41, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+              0x65, 0x03, 0x04, 0x02, 0x02, 0x05, 0x00, 0x04, 0x30};
+    case crypto::HashAlgo::kSha512:
+      return {0x30, 0x51, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+              0x65, 0x03, 0x04, 0x02, 0x03, 0x05, 0x00, 0x04, 0x40};
+  }
+  throw std::invalid_argument("unknown hash algorithm");
+}
+
+Bytes emsa_pkcs1_v15(crypto::HashAlgo algo, ByteView message, std::size_t em_len) {
+  const Bytes t = concat({digest_info_prefix(algo), crypto::hash(algo, message)});
+  if (em_len < t.size() + 11) throw std::length_error("RSA modulus too small for digest");
+  Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), em_len - t.size() - 3, 0xff);
+  em.push_back(0x00);
+  append(em, t);
+  return em;
+}
+
+}  // namespace
+
+Bytes rsa_sign(const RsaKeyPair& key, crypto::HashAlgo algo, ByteView message) {
+  const std::size_t k = key.pub.modulus_bytes();
+  const Bytes em = emsa_pkcs1_v15(algo, message, k);
+  const BigInt m = BigInt::from_bytes(em);
+  return key.private_op(m).to_bytes(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, crypto::HashAlgo algo, ByteView message,
+                ByteView signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  const BigInt s = BigInt::from_bytes(signature);
+  if (s >= key.n) return false;
+  const Bytes em = s.mod_exp(key.e, key.n).to_bytes(k);
+  Bytes expected;
+  try {
+    expected = emsa_pkcs1_v15(algo, message, k);
+  } catch (const std::length_error&) {
+    return false;
+  }
+  return constant_time_equal(em, expected);
+}
+
+Bytes rsa_encrypt(const RsaPublicKey& key, ByteView plaintext, crypto::Drbg& rng) {
+  const std::size_t k = key.modulus_bytes();
+  if (plaintext.size() + 11 > k) throw std::length_error("RSA plaintext too long");
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.push_back(0x02);
+  const std::size_t pad_len = k - plaintext.size() - 3;
+  for (std::size_t i = 0; i < pad_len; ++i) {
+    std::uint8_t b = 0;
+    while (b == 0) b = static_cast<std::uint8_t>(rng.u32());  // nonzero padding
+    em.push_back(b);
+  }
+  em.push_back(0x00);
+  append(em, plaintext);
+  const BigInt m = BigInt::from_bytes(em);
+  return m.mod_exp(key.e, key.n).to_bytes(k);
+}
+
+std::optional<Bytes> rsa_decrypt(const RsaKeyPair& key, ByteView ciphertext) {
+  const std::size_t k = key.pub.modulus_bytes();
+  if (ciphertext.size() != k) return std::nullopt;
+  const BigInt c = BigInt::from_bytes(ciphertext);
+  if (c >= key.pub.n) return std::nullopt;
+  const Bytes em = key.private_op(c).to_bytes(k);
+  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) return std::nullopt;
+  std::size_t sep = 2;
+  while (sep < em.size() && em[sep] != 0x00) ++sep;
+  if (sep < 10 || sep == em.size()) return std::nullopt;  // at least 8 pad bytes
+  return Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep) + 1, em.end());
+}
+
+}  // namespace mbtls::rsa

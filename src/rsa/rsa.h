@@ -1,0 +1,49 @@
+// RSA with PKCS#1 v1.5 signatures and encryption padding (RFC 8017).
+//
+// The TLS stack uses RSA both for certificate signatures (*_RSA_* suites)
+// and, indirectly, as the certificate-key type for ECDHE-RSA / DHE-RSA —
+// matching the cipher suites the paper benchmarked (Figure 5 used
+// ECDHE-RSA and DHE-RSA).
+#pragma once
+
+#include <optional>
+
+#include "bignum/bignum.h"
+#include "crypto/drbg.h"
+#include "crypto/sha2.h"
+#include "util/bytes.h"
+
+namespace mbtls::rsa {
+
+struct RsaPublicKey {
+  bn::BigInt n;
+  bn::BigInt e;
+
+  std::size_t modulus_bytes() const { return n.byte_length(); }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  bn::BigInt d;
+  // CRT components for fast private-key operations.
+  bn::BigInt p, q, dp, dq, qinv;
+
+  /// Private-key exponentiation with CRT.
+  bn::BigInt private_op(const bn::BigInt& m) const;
+};
+
+/// Generate an RSA key pair (e = 65537). `bits` is the modulus size.
+RsaKeyPair rsa_generate(std::size_t bits, crypto::Drbg& rng);
+
+/// PKCS#1 v1.5 signature over message (hashed with `algo`, DigestInfo-wrapped).
+Bytes rsa_sign(const RsaKeyPair& key, crypto::HashAlgo algo, ByteView message);
+bool rsa_verify(const RsaPublicKey& key, crypto::HashAlgo algo, ByteView message,
+                ByteView signature);
+
+/// PKCS#1 v1.5 encryption (type-2 padding) — used by the RSA key transport
+/// cipher suites and session-ticket wrapping in tests.
+Bytes rsa_encrypt(const RsaPublicKey& key, ByteView plaintext, crypto::Drbg& rng);
+/// Returns empty optional on padding failure.
+std::optional<Bytes> rsa_decrypt(const RsaKeyPair& key, ByteView ciphertext);
+
+}  // namespace mbtls::rsa

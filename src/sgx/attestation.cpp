@@ -1,0 +1,44 @@
+#include "sgx/attestation.h"
+
+#include "crypto/sha2.h"
+
+namespace mbtls::sgx {
+
+namespace {
+
+const ec::EcdsaKeyPair& service_key() {
+  static const ec::EcdsaKeyPair key = [] {
+    crypto::Drbg rng("intel-attestation-service", 0);
+    return ec::ecdsa_generate(rng);
+  }();
+  return key;
+}
+
+Bytes quote_message(ByteView measurement, ByteView report_data) {
+  Bytes msg = to_bytes(std::string_view("sgx-quote:"));
+  append(msg, measurement);
+  append(msg, report_data);
+  return msg;
+}
+
+}  // namespace
+
+const ec::AffinePoint& attestation_service_public_key() { return service_key().public_key; }
+
+Bytes attestation_service_sign(ByteView measurement, ByteView report_data) {
+  // Deterministic ECDSA in the spirit of RFC 6979: the nonce is derived from
+  // the private key and the message, so it is unpredictable to outsiders but
+  // reproducible across runs.
+  Bytes k_seed = service_key().private_key.to_bytes();
+  append(k_seed, quote_message(measurement, report_data));
+  crypto::Drbg k_rng(k_seed);
+  return ec::ecdsa_sign(service_key(), crypto::HashAlgo::kSha256,
+                        quote_message(measurement, report_data), k_rng);
+}
+
+bool verify_quote(ByteView measurement, ByteView report_data, ByteView signature) {
+  return ec::ecdsa_verify(attestation_service_public_key(), crypto::HashAlgo::kSha256,
+                          quote_message(measurement, report_data), signature);
+}
+
+}  // namespace mbtls::sgx

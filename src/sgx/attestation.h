@@ -1,0 +1,24 @@
+// Simulated Intel attestation service: a process-wide ECDSA key that signs
+// quotes, with the public half available to verifiers (as Intel publishes
+// its attestation root).
+#pragma once
+
+#include "ec/ecdsa.h"
+#include "util/bytes.h"
+
+namespace mbtls::sgx {
+
+/// The attestation service's public key (verifiers embed this, like Intel's
+/// attestation root certificate).
+const ec::AffinePoint& attestation_service_public_key();
+
+/// Sign (measurement || report_data). Only callable from the enclave
+/// implementation — attackers in our harness never touch this directly, they
+/// can only replay quotes they observed.
+Bytes attestation_service_sign(ByteView measurement, ByteView report_data);
+
+/// Verify a quote's signature and optionally its expected measurement.
+/// `expected_report_data` must match exactly (zero-padded to 64 bytes).
+bool verify_quote(ByteView measurement, ByteView report_data, ByteView signature);
+
+}  // namespace mbtls::sgx

@@ -1,0 +1,168 @@
+#include "sgx/enclave.h"
+
+#include "crypto/gcm.h"
+#include "crypto/hkdf.h"
+#include "crypto/sha2.h"
+#include "sgx/attestation.h"
+
+namespace mbtls::sgx {
+
+Bytes measure(std::string_view code_identity, ByteView config) {
+  crypto::Sha256 h;
+  h.update(to_bytes(std::string_view("sgx-measurement:")));
+  h.update(to_bytes(code_identity));
+  h.update(config);
+  return h.finish();
+}
+
+std::optional<Bytes> MemoryStore::get(const std::string& name) const {
+  auto it = data_.find(name);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void burn_cycles(std::uint64_t iterations) {
+  // Data dependency chain the optimizer cannot elide.
+  volatile std::uint64_t sink = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t x = sink;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  sink = x;
+}
+
+// ------------------------------------------------------------------ Enclave
+
+Enclave::Enclave(Platform& platform, std::string code_identity, ByteView config)
+    : platform_(platform),
+      code_identity_(std::move(code_identity)),
+      measurement_(measure(code_identity_, config)) {
+  // Sealing key = KDF(platform sealing root, measurement): same code on the
+  // same CPU gets the same key; different code or CPU gets a different one.
+  sealing_key_ = crypto::hkdf(crypto::HashAlgo::kSha256, platform_.sealing_root_, measurement_,
+                              to_bytes(std::string_view("sgx-seal")), 32);
+}
+
+void Enclave::enter() {
+  ++transitions_;
+  burn_cycles(platform_.transition_cost_);
+}
+
+void Enclave::leave() {
+  ++transitions_;
+  burn_cycles(platform_.transition_cost_);
+}
+
+Enclave::QuoteData Enclave::quote(ByteView report_data) const {
+  QuoteData q;
+  q.measurement = measurement_;
+  q.report_data = to_bytes(report_data);
+  q.report_data.resize(64, 0);
+  q.signature = attestation_service_sign(q.measurement, q.report_data);
+  return q;
+}
+
+Bytes Enclave::QuoteData::encode() const {
+  Bytes out;
+  put_u16(out, static_cast<std::uint16_t>(measurement.size()));
+  append(out, measurement);
+  put_u16(out, static_cast<std::uint16_t>(report_data.size()));
+  append(out, report_data);
+  put_u16(out, static_cast<std::uint16_t>(signature.size()));
+  append(out, signature);
+  return out;
+}
+
+std::optional<Enclave::QuoteData> Enclave::QuoteData::decode(ByteView wire) {
+  try {
+    QuoteData q;
+    std::size_t off = 0;
+    auto read_vec = [&](Bytes& out) {
+      const std::uint16_t len = get_u16(wire, off);
+      off += 2;
+      out = to_bytes(slice(wire, off, len));
+      off += len;
+    };
+    read_vec(q.measurement);
+    read_vec(q.report_data);
+    read_vec(q.signature);
+    if (off != wire.size()) return std::nullopt;
+    return q;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+Bytes Enclave::seal(ByteView plaintext) {
+  const crypto::AesGcm gcm(sealing_key_);
+  // Unique IV per seal operation: 4 zero bytes + 64-bit counter.
+  Bytes iv(4, 0);
+  put_u64(iv, seal_counter_++);
+  const Bytes sealed = gcm.seal(iv, measurement_, plaintext);
+  return concat({iv, sealed});
+}
+
+std::optional<Bytes> Enclave::unseal(ByteView sealed) const {
+  if (sealed.size() < 12) return std::nullopt;
+  const crypto::AesGcm gcm(sealing_key_);
+  return gcm.open(sealed.first(12), measurement_, sealed.subspan(12));
+}
+
+// ----------------------------------------------------------------- Platform
+
+Platform::Platform(std::uint64_t platform_seed) : rng_("sgx-platform", platform_seed) {
+  memory_encryption_key_ = rng_.bytes(32);
+  sealing_root_ = rng_.bytes(32);
+}
+
+Enclave& Platform::launch(std::string code_identity, ByteView config) {
+  enclaves_.push_back(
+      std::unique_ptr<Enclave>(new Enclave(*this, std::move(code_identity), config)));
+  return *enclaves_.back();
+}
+
+std::vector<MemoryRegionView> Platform::adversary_memory_view() const {
+  std::vector<MemoryRegionView> view;
+  for (const auto& [name, value] : untrusted_.raw()) {
+    view.push_back({name, false, value});
+  }
+  const crypto::AesGcm mee(memory_encryption_key_);
+  std::uint64_t page = 0;
+  for (const auto& enclave : enclaves_) {
+    for (const auto& [name, value] : enclave->memory().raw()) {
+      // The memory-encryption engine: the adversary sees only ciphertext.
+      Bytes iv(12, 0);
+      iv[0] = static_cast<std::uint8_t>(page >> 8);
+      iv[1] = static_cast<std::uint8_t>(page);
+      ++page;
+      view.push_back({enclave->code_identity() + "/" + name, true, mee.seal(iv, {}, value)});
+    }
+  }
+  return view;
+}
+
+std::vector<std::string> Platform::adversary_find_secret(ByteView needle) const {
+  std::vector<std::string> hits;
+  if (needle.empty()) return hits;
+  for (const auto& region : adversary_memory_view()) {
+    const auto& hay = region.contents;
+    if (hay.size() < needle.size()) continue;
+    for (std::size_t i = 0; i + needle.size() <= hay.size(); ++i) {
+      if (std::equal(needle.begin(), needle.end(), hay.begin() + static_cast<std::ptrdiff_t>(i))) {
+        hits.push_back(region.name);
+        break;
+      }
+    }
+  }
+  return hits;
+}
+
+std::uint64_t Platform::total_transitions() const {
+  std::uint64_t total = 0;
+  for (const auto& e : enclaves_) total += e->transitions();
+  return total;
+}
+
+}  // namespace mbtls::sgx

@@ -1,0 +1,61 @@
+#include "tls/common.h"
+
+namespace mbtls::tls {
+
+const char* to_string(AlertDescription d) {
+  switch (d) {
+    case AlertDescription::kCloseNotify: return "close_notify";
+    case AlertDescription::kUnexpectedMessage: return "unexpected_message";
+    case AlertDescription::kBadRecordMac: return "bad_record_mac";
+    case AlertDescription::kRecordOverflow: return "record_overflow";
+    case AlertDescription::kHandshakeFailure: return "handshake_failure";
+    case AlertDescription::kBadCertificate: return "bad_certificate";
+    case AlertDescription::kCertificateExpired: return "certificate_expired";
+    case AlertDescription::kCertificateUnknown: return "certificate_unknown";
+    case AlertDescription::kIllegalParameter: return "illegal_parameter";
+    case AlertDescription::kUnknownCa: return "unknown_ca";
+    case AlertDescription::kDecodeError: return "decode_error";
+    case AlertDescription::kDecryptError: return "decrypt_error";
+    case AlertDescription::kProtocolVersion: return "protocol_version";
+    case AlertDescription::kInternalError: return "internal_error";
+    case AlertDescription::kInsufficientSecurity: return "insufficient_security";
+  }
+  return "unknown_alert";
+}
+
+std::optional<SuiteInfo> suite_info(CipherSuite suite) {
+  using H = crypto::HashAlgo;
+  switch (suite) {
+    case CipherSuite::kDheRsaAes128GcmSha256:
+      return SuiteInfo{suite, KeyExchange::kDhe, AuthAlgo::kRsa, 16, H::kSha256};
+    case CipherSuite::kDheRsaAes256GcmSha384:
+      return SuiteInfo{suite, KeyExchange::kDhe, AuthAlgo::kRsa, 32, H::kSha384};
+    case CipherSuite::kEcdheEcdsaAes128GcmSha256:
+      return SuiteInfo{suite, KeyExchange::kEcdhe, AuthAlgo::kEcdsa, 16, H::kSha256};
+    case CipherSuite::kEcdheEcdsaAes256GcmSha384:
+      return SuiteInfo{suite, KeyExchange::kEcdhe, AuthAlgo::kEcdsa, 32, H::kSha384};
+    case CipherSuite::kEcdheRsaAes128GcmSha256:
+      return SuiteInfo{suite, KeyExchange::kEcdhe, AuthAlgo::kRsa, 16, H::kSha256};
+    case CipherSuite::kEcdheRsaAes256GcmSha384:
+      return SuiteInfo{suite, KeyExchange::kEcdhe, AuthAlgo::kRsa, 32, H::kSha384};
+  }
+  return std::nullopt;
+}
+
+std::optional<SuiteInfo> suite_info(std::uint16_t wire_value) {
+  return suite_info(static_cast<CipherSuite>(wire_value));
+}
+
+const char* suite_name(CipherSuite suite) {
+  switch (suite) {
+    case CipherSuite::kDheRsaAes128GcmSha256: return "DHE-RSA-AES128-GCM-SHA256";
+    case CipherSuite::kDheRsaAes256GcmSha384: return "DHE-RSA-AES256-GCM-SHA384";
+    case CipherSuite::kEcdheEcdsaAes128GcmSha256: return "ECDHE-ECDSA-AES128-GCM-SHA256";
+    case CipherSuite::kEcdheEcdsaAes256GcmSha384: return "ECDHE-ECDSA-AES256-GCM-SHA384";
+    case CipherSuite::kEcdheRsaAes128GcmSha256: return "ECDHE-RSA-AES128-GCM-SHA256";
+    case CipherSuite::kEcdheRsaAes256GcmSha384: return "ECDHE-RSA-AES256-GCM-SHA384";
+  }
+  return "UNKNOWN-SUITE";
+}
+
+}  // namespace mbtls::tls

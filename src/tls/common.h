@@ -1,0 +1,114 @@
+// Shared TLS 1.2 definitions: content types, handshake types, cipher suites,
+// alerts, and protocol constants — including the mbTLS additions from the
+// paper's Appendix A (record types 30-32, handshake type 17, and the
+// MiddleboxSupport extension).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/sha2.h"
+#include "util/bytes.h"
+
+namespace mbtls::tls {
+
+constexpr std::uint16_t kVersionTls12 = 0x0303;
+
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+  // mbTLS additions (paper Appendix A.1).
+  kMbtlsEncapsulated = 30,
+  kMbtlsKeyMaterial = 31,
+  kMbtlsMiddleboxAnnouncement = 32,
+};
+
+enum class HandshakeType : std::uint8_t {
+  kHelloRequest = 0,
+  kClientHello = 1,
+  kServerHello = 2,
+  kNewSessionTicket = 4,
+  kCertificate = 11,
+  kServerKeyExchange = 12,
+  kCertificateRequest = 13,
+  kServerHelloDone = 14,
+  kCertificateVerify = 15,
+  kClientKeyExchange = 16,
+  // mbTLS addition (paper Appendix A.2).
+  kSgxAttestation = 17,
+  kFinished = 20,
+};
+
+enum class AlertLevel : std::uint8_t { kWarning = 1, kFatal = 2 };
+
+enum class AlertDescription : std::uint8_t {
+  kCloseNotify = 0,
+  kUnexpectedMessage = 10,
+  kBadRecordMac = 20,
+  kRecordOverflow = 22,
+  kHandshakeFailure = 40,
+  kBadCertificate = 42,
+  kCertificateExpired = 45,
+  kCertificateUnknown = 46,
+  kIllegalParameter = 47,
+  kUnknownCa = 48,
+  kDecodeError = 50,
+  kDecryptError = 51,
+  kProtocolVersion = 70,
+  kInternalError = 80,
+  kInsufficientSecurity = 71,
+};
+
+const char* to_string(AlertDescription d);
+
+enum class CipherSuite : std::uint16_t {
+  kDheRsaAes128GcmSha256 = 0x009e,
+  kDheRsaAes256GcmSha384 = 0x009f,
+  kEcdheEcdsaAes128GcmSha256 = 0xc02b,
+  kEcdheEcdsaAes256GcmSha384 = 0xc02c,
+  kEcdheRsaAes128GcmSha256 = 0xc02f,
+  kEcdheRsaAes256GcmSha384 = 0xc030,
+};
+
+enum class KeyExchange : std::uint8_t { kEcdhe, kDhe };
+enum class AuthAlgo : std::uint8_t { kRsa, kEcdsa };
+
+struct SuiteInfo {
+  CipherSuite id;
+  KeyExchange kx;
+  AuthAlgo auth;
+  std::size_t key_len;         // AES key bytes (16 or 32)
+  crypto::HashAlgo prf_hash;   // also the handshake transcript hash
+};
+
+/// Returns nullopt for unknown suites (legacy endpoints use this to skip
+/// suites they do not implement).
+std::optional<SuiteInfo> suite_info(CipherSuite suite);
+std::optional<SuiteInfo> suite_info(std::uint16_t wire_value);
+const char* suite_name(CipherSuite suite);
+
+// Extension numbers.
+constexpr std::uint16_t kExtServerName = 0;
+constexpr std::uint16_t kExtSupportedGroups = 10;
+constexpr std::uint16_t kExtSignatureAlgorithms = 13;
+constexpr std::uint16_t kExtSessionTicket = 35;
+// Private-range extension numbers for the mbTLS additions.
+constexpr std::uint16_t kExtMiddleboxSupport = 0xff77;
+constexpr std::uint16_t kExtAttestationRequest = 0xff78;
+
+/// Fatal protocol failure; carries the alert that was (or should be) sent.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(AlertDescription alert, const std::string& what)
+      : std::runtime_error(what), alert_(alert) {}
+  AlertDescription alert() const { return alert_; }
+
+ private:
+  AlertDescription alert_;
+};
+
+}  // namespace mbtls::tls

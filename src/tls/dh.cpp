@@ -1,0 +1,37 @@
+#include "tls/dh.h"
+
+#include <stdexcept>
+
+#include "bignum/prime.h"
+
+namespace mbtls::tls {
+
+const DhGroup& default_dh_group() {
+  static const DhGroup group = [] {
+    crypto::Drbg rng("mbtls-dhe-group", 1);
+    DhGroup g;
+    g.p = bn::generate_safe_prime(512, rng);
+    g.g = bn::BigInt(2);
+    return g;
+  }();
+  return group;
+}
+
+DhKeyPair dh_generate(const DhGroup& group, crypto::Drbg& rng) {
+  DhKeyPair kp;
+  // Private exponent: 256 random bits is ample for the simulation group.
+  kp.private_key = bn::random_bits(256, rng);
+  const bn::BigInt y = group.g.mod_exp(kp.private_key, group.p);
+  kp.public_value = y.to_bytes(group.p.byte_length());
+  return kp;
+}
+
+Bytes dh_shared_secret(const DhGroup& group, const bn::BigInt& private_key, ByteView peer_public) {
+  const bn::BigInt peer = bn::BigInt::from_bytes(peer_public);
+  if (peer <= bn::BigInt(1) || peer >= group.p - bn::BigInt(1))
+    throw std::invalid_argument("DH: degenerate peer public value");
+  const bn::BigInt secret = peer.mod_exp(private_key, group.p);
+  return secret.to_bytes(group.p.byte_length());
+}
+
+}  // namespace mbtls::tls

@@ -1,0 +1,36 @@
+// Finite-field Diffie-Hellman for the DHE_* cipher suites.
+//
+// Group parameters: the paper's prototype used OpenSSL's built-in groups;
+// offline we generate a safe-prime group once per process (deterministic
+// seed) and cache it. Group size is configurable; the default favours
+// simulation speed while preserving the *relative* cost structure of DHE vs
+// ECDHE that Figure 5 reports (DHE was "similar" to ECDHE-RSA).
+#pragma once
+
+#include "bignum/bignum.h"
+#include "crypto/drbg.h"
+#include "util/bytes.h"
+
+namespace mbtls::tls {
+
+struct DhGroup {
+  bn::BigInt p;  // safe prime
+  bn::BigInt g;  // generator (2)
+};
+
+/// Process-wide default group (deterministically generated, cached).
+const DhGroup& default_dh_group();
+
+struct DhKeyPair {
+  bn::BigInt private_key;
+  Bytes public_value;  // big-endian Y = g^x mod p
+};
+
+DhKeyPair dh_generate(const DhGroup& group, crypto::Drbg& rng);
+
+/// Shared secret = peer^x mod p, left-padded to the group size.
+/// Throws std::invalid_argument on degenerate peer values (0, 1, p-1, >= p).
+Bytes dh_shared_secret(const DhGroup& group, const bn::BigInt& private_key,
+                       ByteView peer_public);
+
+}  // namespace mbtls::tls

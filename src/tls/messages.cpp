@@ -1,0 +1,334 @@
+#include "tls/messages.h"
+
+#include "tls/record.h"
+#include "util/writer.h"
+
+namespace mbtls::tls {
+
+Bytes wrap_handshake(HandshakeType type, ByteView body) {
+  Bytes out;
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u24(out, static_cast<std::uint32_t>(body.size()));
+  append(out, body);
+  return out;
+}
+
+void HandshakeReassembler::feed(ByteView record_payload) { append(buffer_, record_payload); }
+
+std::optional<HandshakeMsg> HandshakeReassembler::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const std::uint32_t len = get_u24(buffer_, 1);
+  if (buffer_.size() < 4 + len) return std::nullopt;
+  HandshakeMsg msg;
+  msg.type = static_cast<HandshakeType>(buffer_[0]);
+  msg.body.assign(buffer_.begin() + 4, buffer_.begin() + 4 + len);
+  msg.raw.assign(buffer_.begin(), buffer_.begin() + 4 + len);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + len);
+  return msg;
+}
+
+// -------------------------------------------------------------- extensions
+
+Bytes encode_extensions(const std::vector<Extension>& extensions) {
+  Writer w;
+  {
+    Writer::LengthPrefix total(w, 2);
+    for (const auto& ext : extensions) {
+      w.u16(ext.type);
+      w.vec16(ext.data);
+    }
+  }
+  return w.take();
+}
+
+std::vector<Extension> parse_extensions(Reader& r) {
+  std::vector<Extension> out;
+  if (r.empty()) return out;  // extensions block is optional
+  Reader exts(r.vec16());
+  while (!exts.empty()) {
+    Extension ext;
+    ext.type = exts.u16();
+    ext.data = to_bytes(exts.vec16());
+    out.push_back(std::move(ext));
+  }
+  return out;
+}
+
+Bytes encode_sni(std::string_view host) {
+  Writer w;
+  {
+    Writer::LengthPrefix list(w, 2);
+    w.u8(0);  // host_name
+    w.vec16(to_bytes(host));
+  }
+  return w.take();
+}
+
+std::optional<std::string> parse_sni(ByteView data) {
+  try {
+    Reader r(data);
+    Reader list(r.vec16());
+    while (!list.empty()) {
+      const std::uint8_t name_type = list.u8();
+      const ByteView name = list.vec16();
+      if (name_type == 0) return mbtls::to_string(name);
+    }
+    return std::nullopt;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+// ----------------------------------------------------------------- hellos
+
+Bytes ClientHello::encode_body() const {
+  Writer w;
+  w.u16(kVersionTls12);
+  w.raw(random);
+  w.vec8(session_id);
+  {
+    Writer::LengthPrefix suites(w, 2);
+    for (const auto s : cipher_suites) w.u16(s);
+  }
+  w.vec8(Bytes{0});  // null compression only
+  w.raw(encode_extensions(extensions));
+  return w.take();
+}
+
+ClientHello ClientHello::parse(ByteView body) {
+  Reader r(body);
+  const std::uint16_t version = r.u16();
+  if (version != kVersionTls12)
+    throw ProtocolError(AlertDescription::kProtocolVersion, "unsupported TLS version");
+  ClientHello hello;
+  hello.random = to_bytes(r.bytes(32));
+  hello.session_id = to_bytes(r.vec8());
+  Reader suites(r.vec16());
+  while (!suites.empty()) hello.cipher_suites.push_back(suites.u16());
+  r.vec8();  // compression methods
+  hello.extensions = parse_extensions(r);
+  return hello;
+}
+
+const Extension* ClientHello::find_extension(std::uint16_t type) const {
+  for (const auto& ext : extensions) {
+    if (ext.type == type) return &ext;
+  }
+  return nullptr;
+}
+
+Bytes ServerHello::encode_body() const {
+  Writer w;
+  w.u16(kVersionTls12);
+  w.raw(random);
+  w.vec8(session_id);
+  w.u16(cipher_suite);
+  w.u8(0);  // null compression
+  w.raw(encode_extensions(extensions));
+  return w.take();
+}
+
+ServerHello ServerHello::parse(ByteView body) {
+  Reader r(body);
+  const std::uint16_t version = r.u16();
+  if (version != kVersionTls12)
+    throw ProtocolError(AlertDescription::kProtocolVersion, "unsupported TLS version");
+  ServerHello hello;
+  hello.random = to_bytes(r.bytes(32));
+  hello.session_id = to_bytes(r.vec8());
+  hello.cipher_suite = r.u16();
+  r.u8();  // compression
+  hello.extensions = parse_extensions(r);
+  return hello;
+}
+
+// ------------------------------------------------------------ certificates
+
+Bytes CertificateMsg::encode_body() const {
+  Writer w;
+  {
+    Writer::LengthPrefix list(w, 3);
+    for (const auto& cert : chain_der) w.vec24(cert);
+  }
+  return w.take();
+}
+
+CertificateMsg CertificateMsg::parse(ByteView body) {
+  Reader r(body);
+  CertificateMsg msg;
+  Reader list(r.vec24());
+  while (!list.empty()) msg.chain_der.push_back(to_bytes(list.vec24()));
+  r.expect_end();
+  return msg;
+}
+
+// ------------------------------------------------------------ key exchange
+
+Bytes ServerKeyExchange::params_bytes() const {
+  Writer w;
+  if (kx == KeyExchange::kEcdhe) {
+    w.u8(3);    // curve_type = named_curve
+    w.u16(23);  // secp256r1
+    w.vec8(ec_point);
+  } else {
+    w.vec16(dh_p);
+    w.vec16(dh_g);
+    w.vec16(dh_ys);
+  }
+  return w.take();
+}
+
+Bytes ServerKeyExchange::encode_body() const {
+  Writer w;
+  w.raw(params_bytes());
+  w.u8(sig_hash);
+  w.u8(sig_algo);
+  w.vec16(signature);
+  return w.take();
+}
+
+ServerKeyExchange ServerKeyExchange::parse(ByteView body, KeyExchange kx) {
+  Reader r(body);
+  ServerKeyExchange ske;
+  ske.kx = kx;
+  if (kx == KeyExchange::kEcdhe) {
+    const std::uint8_t curve_type = r.u8();
+    const std::uint16_t curve = r.u16();
+    if (curve_type != 3 || curve != 23)
+      throw ProtocolError(AlertDescription::kIllegalParameter, "unsupported curve");
+    ske.ec_point = to_bytes(r.vec8());
+  } else {
+    ske.dh_p = to_bytes(r.vec16());
+    ske.dh_g = to_bytes(r.vec16());
+    ske.dh_ys = to_bytes(r.vec16());
+  }
+  ske.sig_hash = r.u8();
+  ske.sig_algo = r.u8();
+  ske.signature = to_bytes(r.vec16());
+  r.expect_end();
+  return ske;
+}
+
+Bytes ClientKeyExchange::encode_body() const {
+  Writer w;
+  if (kx == KeyExchange::kEcdhe)
+    w.vec8(public_value);
+  else
+    w.vec16(public_value);
+  return w.take();
+}
+
+ClientKeyExchange ClientKeyExchange::parse(ByteView body, KeyExchange kx) {
+  Reader r(body);
+  ClientKeyExchange cke;
+  cke.kx = kx;
+  cke.public_value = to_bytes(kx == KeyExchange::kEcdhe ? r.vec8() : r.vec16());
+  r.expect_end();
+  return cke;
+}
+
+// ------------------------------------------------------------- attestation
+
+Bytes SgxAttestationMsg::encode_body() const {
+  Writer w;
+  w.vec16(quote);
+  return w.take();
+}
+
+SgxAttestationMsg SgxAttestationMsg::parse(ByteView body) {
+  Reader r(body);
+  SgxAttestationMsg msg;
+  msg.quote = to_bytes(r.vec16());
+  r.expect_end();
+  return msg;
+}
+
+// ------------------------------------------------- MiddleboxSupport (mbTLS)
+
+Bytes MiddleboxSupportExtension::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(optimistic_hellos.size()));
+  for (const auto& hello : optimistic_hellos) w.vec16(hello);
+  w.u8(static_cast<std::uint8_t>(known_middleboxes.size()));
+  for (const auto& name : known_middleboxes) w.vec8(to_bytes(name));
+  return w.take();
+}
+
+MiddleboxSupportExtension MiddleboxSupportExtension::parse(ByteView data) {
+  Reader r(data);
+  MiddleboxSupportExtension ext;
+  const std::uint8_t num_hellos = r.u8();
+  for (std::uint8_t i = 0; i < num_hellos; ++i) ext.optimistic_hellos.push_back(to_bytes(r.vec16()));
+  const std::uint8_t num_mboxes = r.u8();
+  for (std::uint8_t i = 0; i < num_mboxes; ++i)
+    ext.known_middleboxes.push_back(mbtls::to_string(r.vec8()));
+  r.expect_end();
+  return ext;
+}
+
+// -------------------------------------------- MBTLSKeyMaterial record body
+
+namespace {
+void encode_hop_keys(Writer& w, const HopKeys& keys) {
+  w.vec8(keys.client_to_server_key);
+  w.vec8(keys.client_to_server_iv);
+  w.vec8(keys.server_to_client_key);
+  w.vec8(keys.server_to_client_iv);
+  w.u64(keys.client_to_server_seq);
+  w.u64(keys.server_to_client_seq);
+}
+
+HopKeys parse_hop_keys(Reader& r) {
+  HopKeys keys;
+  keys.client_to_server_key = to_bytes(r.vec8());
+  keys.client_to_server_iv = to_bytes(r.vec8());
+  keys.server_to_client_key = to_bytes(r.vec8());
+  keys.server_to_client_iv = to_bytes(r.vec8());
+  keys.client_to_server_seq = r.u64();
+  keys.server_to_client_seq = r.u64();
+  return keys;
+}
+}  // namespace
+
+Bytes KeyMaterialMsg::encode() const {
+  Writer w;
+  w.u16(version);
+  w.u16(cipher_suite);
+  encode_hop_keys(w, toward_client);
+  encode_hop_keys(w, toward_server);
+  return w.take();
+}
+
+std::optional<KeyMaterialMsg> KeyMaterialMsg::parse(ByteView data) {
+  try {
+    Reader r(data);
+    KeyMaterialMsg msg;
+    msg.version = r.u16();
+    msg.cipher_suite = r.u16();
+    msg.toward_client = parse_hop_keys(r);
+    msg.toward_server = parse_hop_keys(r);
+    r.expect_end();
+    return msg;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+// ----------------------------------------------------- Encapsulated records
+
+Bytes EncapsulatedRecord::encode() const {
+  Bytes out;
+  put_u8(out, subchannel);
+  append(out, inner_record);
+  return out;
+}
+
+std::optional<EncapsulatedRecord> EncapsulatedRecord::parse(ByteView data) {
+  if (data.size() < 1 + kRecordHeaderSize) return std::nullopt;
+  EncapsulatedRecord rec;
+  rec.subchannel = data[0];
+  rec.inner_record = to_bytes(data.subspan(1));
+  return rec;
+}
+
+}  // namespace mbtls::tls

@@ -1,0 +1,53 @@
+#include "tls/prf.h"
+
+#include "crypto/hmac.h"
+
+namespace mbtls::tls {
+
+Bytes prf(crypto::HashAlgo hash, ByteView secret, std::string_view label, ByteView seed,
+          std::size_t length) {
+  const Bytes label_seed = concat({to_bytes(label), seed});
+  // P_hash(secret, seed): A(0) = seed; A(i) = HMAC(secret, A(i-1));
+  // output = HMAC(secret, A(1) || seed) || HMAC(secret, A(2) || seed) || ...
+  Bytes out;
+  Bytes a = label_seed;
+  while (out.size() < length) {
+    a = crypto::hmac(hash, secret, a);
+    append(out, crypto::hmac(hash, secret, concat({a, label_seed})));
+  }
+  out.resize(length);
+  return out;
+}
+
+Bytes derive_master_secret(crypto::HashAlgo hash, ByteView pre_master, ByteView client_random,
+                           ByteView server_random) {
+  return prf(hash, pre_master, "master secret", concat({client_random, server_random}), 48);
+}
+
+KeyBlock derive_key_block(crypto::HashAlgo hash, ByteView master_secret, ByteView client_random,
+                          ByteView server_random, std::size_t key_len) {
+  constexpr std::size_t kFixedIvLen = 4;
+  const Bytes block = prf(hash, master_secret, "key expansion",
+                          concat({server_random, client_random}), 2 * (key_len + kFixedIvLen));
+  KeyBlock keys;
+  std::size_t off = 0;
+  auto take = [&](std::size_t n) {
+    Bytes part(block.begin() + static_cast<std::ptrdiff_t>(off),
+               block.begin() + static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+    return part;
+  };
+  keys.client_write.key = take(key_len);
+  keys.server_write.key = take(key_len);
+  keys.client_write.fixed_iv = take(kFixedIvLen);
+  keys.server_write.fixed_iv = take(kFixedIvLen);
+  return keys;
+}
+
+Bytes finished_verify_data(crypto::HashAlgo hash, ByteView master_secret, bool from_client,
+                           ByteView transcript_hash) {
+  return prf(hash, master_secret, from_client ? "client finished" : "server finished",
+             transcript_hash, 12);
+}
+
+}  // namespace mbtls::tls

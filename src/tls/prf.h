@@ -1,0 +1,39 @@
+// TLS 1.2 pseudo-random function (RFC 5246 §5) and the key derivation
+// schedule built on it.
+#pragma once
+
+#include "crypto/sha2.h"
+#include "util/bytes.h"
+
+namespace mbtls::tls {
+
+/// PRF(secret, label, seed) producing `length` bytes using P_<hash>.
+Bytes prf(crypto::HashAlgo hash, ByteView secret, std::string_view label, ByteView seed,
+          std::size_t length);
+
+/// master_secret = PRF(pre_master, "master secret", client_random || server_random)[0..47]
+Bytes derive_master_secret(crypto::HashAlgo hash, ByteView pre_master, ByteView client_random,
+                           ByteView server_random);
+
+/// AEAD traffic keys for one direction of one connection.
+struct DirectionKeys {
+  Bytes key;       // AES key
+  Bytes fixed_iv;  // 4-byte implicit GCM salt
+};
+
+struct KeyBlock {
+  DirectionKeys client_write;
+  DirectionKeys server_write;
+};
+
+/// key_block = PRF(master, "key expansion", server_random || client_random),
+/// carved into client/server write keys and fixed IVs (AEAD ciphers carry no
+/// MAC keys).
+KeyBlock derive_key_block(crypto::HashAlgo hash, ByteView master_secret, ByteView client_random,
+                          ByteView server_random, std::size_t key_len);
+
+/// Finished verify_data (12 bytes).
+Bytes finished_verify_data(crypto::HashAlgo hash, ByteView master_secret, bool from_client,
+                           ByteView transcript_hash);
+
+}  // namespace mbtls::tls

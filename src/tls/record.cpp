@@ -1,0 +1,97 @@
+#include "tls/record.h"
+
+namespace mbtls::tls {
+
+Bytes frame_plaintext_record(ContentType type, ByteView payload) {
+  if (payload.size() > kMaxRecordPayload)
+    throw ProtocolError(AlertDescription::kRecordOverflow, "record payload too large");
+  Bytes out;
+  out.reserve(kRecordHeaderSize + payload.size());
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, kVersionTls12);
+  put_u16(out, static_cast<std::uint16_t>(payload.size()));
+  append(out, payload);
+  return out;
+}
+
+HopChannel::HopChannel(const DirectionKeys& keys, std::uint64_t initial_seq)
+    : aead_(keys.key), fixed_iv_(keys.fixed_iv), seq_(initial_seq) {
+  if (fixed_iv_.size() != 4) throw std::invalid_argument("GCM fixed IV must be 4 bytes");
+}
+
+namespace {
+Bytes make_aad(std::uint64_t seq, ContentType type, std::size_t plaintext_len) {
+  Bytes aad;
+  put_u64(aad, seq);
+  put_u8(aad, static_cast<std::uint8_t>(type));
+  put_u16(aad, kVersionTls12);
+  put_u16(aad, static_cast<std::uint16_t>(plaintext_len));
+  return aad;
+}
+}  // namespace
+
+Bytes HopChannel::seal(ContentType type, ByteView plaintext) {
+  if (plaintext.size() > kMaxRecordPayload)
+    throw ProtocolError(AlertDescription::kRecordOverflow, "record payload too large");
+  // Nonce = fixed_iv (4) || explicit nonce (8). RFC 5288 lets the sender
+  // choose the explicit part; like most stacks we use the sequence number.
+  Bytes explicit_nonce;
+  put_u64(explicit_nonce, seq_);
+  const Bytes nonce = concat({fixed_iv_, explicit_nonce});
+  const Bytes aad = make_aad(seq_, type, plaintext.size());
+  const Bytes sealed = aead_.seal(nonce, aad, plaintext);
+  ++seq_;
+
+  Bytes out;
+  out.reserve(kRecordHeaderSize + kExplicitNonceSize + sealed.size());
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, kVersionTls12);
+  put_u16(out, static_cast<std::uint16_t>(kExplicitNonceSize + sealed.size()));
+  append(out, explicit_nonce);
+  append(out, sealed);
+  return out;
+}
+
+std::optional<Bytes> HopChannel::open(ContentType type, ByteView body) {
+  if (body.size() < kExplicitNonceSize + crypto::AesGcm::kTagSize) return std::nullopt;
+  const ByteView explicit_nonce = body.first(kExplicitNonceSize);
+  const ByteView sealed = body.subspan(kExplicitNonceSize);
+  const Bytes nonce = concat({fixed_iv_, explicit_nonce});
+  const Bytes aad = make_aad(seq_, type, sealed.size() - crypto::AesGcm::kTagSize);
+  auto opened = aead_.open(nonce, aad, sealed);
+  if (!opened) return std::nullopt;
+  ++seq_;
+  return opened;
+}
+
+void RecordReader::feed(ByteView data) { append(buffer_, data); }
+
+std::optional<std::size_t> RecordReader::complete_record_size() const {
+  if (buffer_.size() < kRecordHeaderSize) return std::nullopt;
+  const std::size_t len = get_u16(buffer_, 3);
+  if (len > kMaxRecordPayload + 256)
+    throw ProtocolError(AlertDescription::kRecordOverflow, "oversized record");
+  if (buffer_.size() < kRecordHeaderSize + len) return std::nullopt;
+  return kRecordHeaderSize + len;
+}
+
+std::optional<Record> RecordReader::next() {
+  const auto size = complete_record_size();
+  if (!size) return std::nullopt;
+  Record rec;
+  rec.type = static_cast<ContentType>(buffer_[0]);
+  rec.payload.assign(buffer_.begin() + kRecordHeaderSize,
+                     buffer_.begin() + static_cast<std::ptrdiff_t>(*size));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(*size));
+  return rec;
+}
+
+std::optional<Bytes> RecordReader::take_raw() {
+  const auto size = complete_record_size();
+  if (!size) return std::nullopt;
+  Bytes raw(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(*size));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(*size));
+  return raw;
+}
+
+}  // namespace mbtls::tls

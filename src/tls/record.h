@@ -1,0 +1,77 @@
+// TLS 1.2 record protocol with AES-GCM AEAD protection (RFC 5288).
+//
+// The codec is exposed standalone (not buried in the Engine) because mbTLS
+// middleboxes re-protect records hop by hop: they open a record with the
+// inbound hop's keys and seal it with the outbound hop's keys, maintaining
+// independent sequence numbers per hop. `HopChannel` models exactly one
+// direction of one hop.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "crypto/gcm.h"
+#include "tls/common.h"
+#include "tls/prf.h"
+
+namespace mbtls::tls {
+
+constexpr std::size_t kRecordHeaderSize = 5;
+constexpr std::size_t kMaxRecordPayload = 1 << 14;
+constexpr std::size_t kExplicitNonceSize = 8;
+
+struct Record {
+  ContentType type = ContentType::kHandshake;
+  Bytes payload;
+};
+
+/// Frame a plaintext record (no encryption).
+Bytes frame_plaintext_record(ContentType type, ByteView payload);
+
+/// One direction of one protected hop: sequence number + AEAD state.
+class HopChannel {
+ public:
+  HopChannel(const DirectionKeys& keys, std::uint64_t initial_seq = 0);
+
+  /// Seal a record: returns the full wire record (header + explicit nonce +
+  /// ciphertext + tag). Increments the sequence number.
+  Bytes seal(ContentType type, ByteView plaintext);
+
+  /// Open a protected record body (everything after the 5-byte header).
+  /// Returns nullopt on authentication failure. Increments the sequence
+  /// number on success.
+  std::optional<Bytes> open(ContentType type, ByteView body);
+
+  std::uint64_t sequence() const { return seq_; }
+
+ private:
+  crypto::AesGcm aead_;
+  Bytes fixed_iv_;
+  std::uint64_t seq_;
+};
+
+/// Incremental record parser: feed raw transport bytes, pop complete records
+/// (still encrypted if the connection is protected). Used by the engine and
+/// by middleboxes that forward records without joining a session.
+class RecordReader {
+ public:
+  /// Append transport bytes.
+  void feed(ByteView data);
+
+  /// Pop the next complete record: {type, body-bytes-after-header}. Throws
+  /// ProtocolError(kDecodeError / kRecordOverflow) on malformed framing.
+  std::optional<Record> next();
+
+  /// Raw bytes of the next complete record (header included) without
+  /// consuming — or consume with `take_raw`. Middleboxes forwarding opaque
+  /// records use this to cut through without re-framing.
+  std::optional<Bytes> take_raw();
+
+  bool buffer_empty() const { return buffer_.empty(); }
+
+ private:
+  std::optional<std::size_t> complete_record_size() const;
+  Bytes buffer_;
+};
+
+}  // namespace mbtls::tls

@@ -1,0 +1,51 @@
+#include "tls/session.h"
+
+#include "util/reader.h"
+#include "util/writer.h"
+
+namespace mbtls::tls {
+
+Bytes encode_ticket_state(const SessionState& state) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(state.suite));
+  w.vec8(state.session_id);
+  w.vec8(state.master_secret);
+  w.vec16(state.mbtls_key_material);
+  return w.take();
+}
+
+std::optional<SessionState> decode_ticket_state(ByteView data) {
+  try {
+    Reader r(data);
+    SessionState state;
+    state.suite = static_cast<CipherSuite>(r.u16());
+    state.session_id = to_bytes(r.vec8());
+    state.master_secret = to_bytes(r.vec8());
+    state.mbtls_key_material = to_bytes(r.vec16());
+    r.expect_end();
+    return state;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+void SessionCache::store_by_id(const SessionState& state) { by_id_[state.session_id] = state; }
+
+std::optional<SessionState> SessionCache::lookup_by_id(ByteView session_id) const {
+  if (session_id.empty()) return std::nullopt;
+  auto it = by_id_.find(to_bytes(session_id));
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SessionCache::store_by_peer(const std::string& peer, const SessionState& state) {
+  by_peer_[peer] = state;
+}
+
+std::optional<SessionState> SessionCache::lookup_by_peer(const std::string& peer) const {
+  auto it = by_peer_.find(peer);
+  if (it == by_peer_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace mbtls::tls

@@ -1,0 +1,56 @@
+// Session resumption state (§3.5 of the paper): ID-based resumption caches
+// plus the mbTLS twist that middlebox session state must also carry the
+// primary session keys.
+#pragma once
+
+#include <map>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "tls/common.h"
+#include "util/bytes.h"
+
+namespace mbtls::tls {
+
+struct SessionState {
+  Bytes session_id;
+  CipherSuite suite{};
+  Bytes master_secret;
+  // For mbTLS middlebox resumption: the per-hop key material that was
+  // distributed last time (empty for plain TLS sessions).
+  Bytes mbtls_key_material;
+  // Client side: the opaque ticket the server issued (RFC 5077), offered in
+  // the SessionTicket extension on the next connection. Never serialized
+  // into tickets themselves.
+  Bytes ticket;
+};
+
+/// Seal a SessionState into an opaque ticket (RFC 5077 style). `sealer`
+/// wraps whatever key protects tickets — a plain ticket key, or an SGX
+/// enclave's sealing key for mbTLS middleboxes (§3.5: "only the enclave
+/// knows the key needed to decrypt the session ticket").
+Bytes encode_ticket_state(const SessionState& state);
+std::optional<SessionState> decode_ticket_state(ByteView data);
+
+/// Server-side cache keyed by session ID; client-side keyed by peer name.
+class SessionCache {
+ public:
+  void store_by_id(const SessionState& state);
+  std::optional<SessionState> lookup_by_id(ByteView session_id) const;
+
+  void store_by_peer(const std::string& peer, const SessionState& state);
+  std::optional<SessionState> lookup_by_peer(const std::string& peer) const;
+
+  void clear() {
+    by_id_.clear();
+    by_peer_.clear();
+  }
+  std::size_t size() const { return by_id_.size() + by_peer_.size(); }
+
+ private:
+  std::map<Bytes, SessionState> by_id_;
+  std::map<std::string, SessionState> by_peer_;
+};
+
+}  // namespace mbtls::tls

@@ -1,0 +1,65 @@
+// Byte-buffer primitives shared by every module.
+//
+// `Bytes` is the canonical owning byte container; `ByteView` the canonical
+// non-owning view. Helpers here cover concatenation, comparison (including a
+// constant-time variant for secrets), and conversions to/from strings.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbtls {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+using MutableByteView = std::span<std::uint8_t>;
+
+/// Build an owning buffer from a view.
+Bytes to_bytes(ByteView v);
+
+/// Build an owning buffer from the raw characters of a string (no encoding).
+Bytes to_bytes(std::string_view s);
+
+/// Interpret raw bytes as a std::string (no encoding).
+std::string to_string(ByteView v);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+/// Concatenate any number of views into a fresh buffer.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Ordinary (early-exit) equality. Do NOT use for secrets.
+bool equal(ByteView a, ByteView b);
+
+/// Constant-time equality for MACs, tags, and other secrets. Runs in time
+/// dependent only on the lengths of the inputs.
+bool constant_time_equal(ByteView a, ByteView b);
+
+/// XOR `b` into `a` (lengths must match).
+void xor_into(MutableByteView a, ByteView b);
+
+/// Zero a buffer (best effort against dead-store elimination).
+void secure_wipe(MutableByteView v);
+
+/// Subview helper with bounds checking; throws std::out_of_range.
+ByteView slice(ByteView v, std::size_t offset, std::size_t len);
+
+// Big-endian integer encode/decode helpers (network byte order), used by the
+// TLS record and handshake codecs.
+void put_u8(Bytes& out, std::uint8_t v);
+void put_u16(Bytes& out, std::uint16_t v);
+void put_u24(Bytes& out, std::uint32_t v);
+void put_u32(Bytes& out, std::uint32_t v);
+void put_u64(Bytes& out, std::uint64_t v);
+
+std::uint16_t get_u16(ByteView v, std::size_t offset);
+std::uint32_t get_u24(ByteView v, std::size_t offset);
+std::uint32_t get_u32(ByteView v, std::size_t offset);
+std::uint64_t get_u64(ByteView v, std::size_t offset);
+
+}  // namespace mbtls

@@ -1,0 +1,38 @@
+#include "util/hex.h"
+
+#include <stdexcept>
+
+namespace mbtls {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("hex_decode: invalid hex digit");
+}
+}  // namespace
+
+std::string hex_encode(ByteView v) {
+  std::string out;
+  out.reserve(v.size() * 2);
+  for (std::uint8_t b : v) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view s) {
+  if (s.size() % 2 != 0) throw std::invalid_argument("hex_decode: odd length");
+  Bytes out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((nibble(s[i]) << 4) | nibble(s[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace mbtls

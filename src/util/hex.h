@@ -1,0 +1,19 @@
+// Hex encoding/decoding, used heavily by tests (known-answer vectors) and by
+// diagnostic logging.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace mbtls {
+
+/// Lowercase hex encoding of `v`.
+std::string hex_encode(ByteView v);
+
+/// Decode a hex string (case-insensitive; throws std::invalid_argument on bad
+/// input or odd length).
+Bytes hex_decode(std::string_view s);
+
+}  // namespace mbtls

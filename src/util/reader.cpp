@@ -1,0 +1,60 @@
+#include "util/reader.h"
+
+namespace mbtls {
+
+std::uint8_t Reader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  require(2);
+  auto v = get_u16(data_, pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u24() {
+  require(3);
+  auto v = get_u24(data_, pos_);
+  pos_ += 3;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  require(4);
+  auto v = get_u32(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  require(8);
+  auto v = get_u64(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+ByteView Reader::bytes(std::size_t n) {
+  require(n);
+  auto v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+ByteView Reader::vec8() { return bytes(u8()); }
+ByteView Reader::vec16() { return bytes(u16()); }
+ByteView Reader::vec24() { return bytes(u24()); }
+
+ByteView Reader::rest() { return bytes(remaining()); }
+
+void Reader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+void Reader::expect_end() const {
+  if (!empty()) throw DecodeError("trailing bytes after message");
+}
+
+}  // namespace mbtls

@@ -1,0 +1,62 @@
+// Bounds-checked sequential reader over a byte view. Used by every wire-format
+// decoder (TLS records, handshake messages, ASN.1, HTTP framing).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace mbtls {
+
+/// Thrown when a decoder runs off the end of its input or sees malformed
+/// framing. Callers at protocol boundaries translate this into an alert /
+/// connection error instead of crashing.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u24();
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  /// Read exactly `n` bytes.
+  ByteView bytes(std::size_t n);
+
+  /// Read a length-prefixed vector with a 1/2/3-byte length prefix (TLS
+  /// "opaque foo<0..2^k-1>" syntax).
+  ByteView vec8();
+  ByteView vec16();
+  ByteView vec24();
+
+  /// Read everything that remains.
+  ByteView rest();
+
+  /// Skip `n` bytes.
+  void skip(std::size_t n);
+
+  /// Throw unless the input was fully consumed — decoders call this to reject
+  /// trailing garbage.
+  void expect_end() const;
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("truncated input");
+  }
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mbtls

@@ -1,0 +1,39 @@
+#include "util/writer.h"
+
+#include <stdexcept>
+
+namespace mbtls {
+
+void Writer::vec8(ByteView v) {
+  if (v.size() > 0xff) throw std::length_error("vec8 overflow");
+  u8(static_cast<std::uint8_t>(v.size()));
+  raw(v);
+}
+
+void Writer::vec16(ByteView v) {
+  if (v.size() > 0xffff) throw std::length_error("vec16 overflow");
+  u16(static_cast<std::uint16_t>(v.size()));
+  raw(v);
+}
+
+void Writer::vec24(ByteView v) {
+  if (v.size() > 0xffffff) throw std::length_error("vec24 overflow");
+  u24(static_cast<std::uint32_t>(v.size()));
+  raw(v);
+}
+
+Writer::LengthPrefix::LengthPrefix(Writer& w, int prefix_bytes)
+    : w_(w), prefix_bytes_(prefix_bytes), at_(w.out_.size()) {
+  for (int i = 0; i < prefix_bytes; ++i) w_.out_.push_back(0);
+}
+
+Writer::LengthPrefix::~LengthPrefix() {
+  const std::size_t len = w_.out_.size() - at_ - static_cast<std::size_t>(prefix_bytes_);
+  std::size_t v = len;
+  for (int i = prefix_bytes_ - 1; i >= 0; --i) {
+    w_.out_[at_ + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+}  // namespace mbtls

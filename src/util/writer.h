@@ -1,0 +1,48 @@
+// Wire-format writer with TLS-style length-prefixed vectors. The
+// `LengthPrefix` RAII helper back-patches a 1/2/3-byte length once the scope
+// closes, so encoders read like the RFC message definitions.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace mbtls {
+
+class Writer {
+ public:
+  Bytes& buffer() { return out_; }
+  const Bytes& buffer() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+  void u8(std::uint8_t v) { put_u8(out_, v); }
+  void u16(std::uint16_t v) { put_u16(out_, v); }
+  void u24(std::uint32_t v) { put_u24(out_, v); }
+  void u32(std::uint32_t v) { put_u32(out_, v); }
+  void u64(std::uint64_t v) { put_u64(out_, v); }
+  void raw(ByteView v) { append(out_, v); }
+
+  void vec8(ByteView v);
+  void vec16(ByteView v);
+  void vec24(ByteView v);
+
+  /// RAII scope that reserves a length prefix of `prefix_bytes` and patches
+  /// the encoded length of everything written inside the scope when destroyed.
+  class LengthPrefix {
+   public:
+    LengthPrefix(Writer& w, int prefix_bytes);
+    ~LengthPrefix();
+    LengthPrefix(const LengthPrefix&) = delete;
+    LengthPrefix& operator=(const LengthPrefix&) = delete;
+
+   private:
+    Writer& w_;
+    int prefix_bytes_;
+    std::size_t at_;
+  };
+
+ private:
+  Bytes out_;
+};
+
+}  // namespace mbtls

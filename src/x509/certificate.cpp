@@ -1,0 +1,246 @@
+#include "x509/certificate.h"
+
+#include <stdexcept>
+
+#include "asn1/der.h"
+
+namespace mbtls::x509 {
+
+namespace {
+
+constexpr std::string_view kOidCommonName = "2.5.4.3";
+constexpr std::string_view kOidBasicConstraints = "2.5.29.19";
+constexpr std::string_view kOidSubjectAltName = "2.5.29.17";
+constexpr std::string_view kOidSha256Rsa = "1.2.840.113549.1.1.11";
+constexpr std::string_view kOidSha384Rsa = "1.2.840.113549.1.1.12";
+constexpr std::string_view kOidEcdsaSha256 = "1.2.840.10045.4.3.2";
+constexpr std::string_view kOidEcdsaSha384 = "1.2.840.10045.4.3.3";
+
+// GeneralName dNSName = context-specific primitive tag [2].
+constexpr std::uint8_t kDnsNameTag = 0x82;
+
+Bytes encode_name(std::string_view cn) {
+  using namespace asn1;
+  // Name ::= RDNSequence; single RDN with a single CN attribute.
+  const Bytes attr = encode_sequence({encode_oid(kOidCommonName), encode_utf8_string(cn)});
+  return encode_sequence({encode_set({attr})});
+}
+
+std::string parse_name_cn(asn1::Parser& outer) {
+  asn1::Parser name = outer.sequence();
+  std::string cn;
+  while (!name.empty()) {
+    asn1::Parser rdn = name.set();
+    while (!rdn.empty()) {
+      asn1::Parser attr = rdn.sequence();
+      const std::string oid = attr.oid();
+      const std::string value = attr.string();
+      if (oid == kOidCommonName) cn = value;
+    }
+  }
+  return cn;
+}
+
+std::string sig_oid_for(KeyType type, crypto::HashAlgo algo) {
+  if (type == KeyType::kRsa) {
+    return std::string(algo == crypto::HashAlgo::kSha384 ? kOidSha384Rsa : kOidSha256Rsa);
+  }
+  return std::string(algo == crypto::HashAlgo::kSha384 ? kOidEcdsaSha384 : kOidEcdsaSha256);
+}
+
+Bytes encode_sig_algorithm(KeyType type, crypto::HashAlgo algo) {
+  using namespace asn1;
+  if (type == KeyType::kRsa)
+    return encode_sequence({encode_oid(sig_oid_for(type, algo)), encode_null()});
+  return encode_sequence({encode_oid(sig_oid_for(type, algo))});
+}
+
+crypto::HashAlgo hash_for_sig_oid(const std::string& oid) {
+  if (oid == kOidSha256Rsa || oid == kOidEcdsaSha256) return crypto::HashAlgo::kSha256;
+  if (oid == kOidSha384Rsa || oid == kOidEcdsaSha384) return crypto::HashAlgo::kSha384;
+  throw DecodeError("unknown signature algorithm OID");
+}
+
+}  // namespace
+
+Certificate Certificate::parse(ByteView der) {
+  Certificate cert;
+  cert.der_ = to_bytes(der);
+
+  asn1::Parser top(cert.der_);
+  asn1::Parser outer = top.sequence();
+  top.expect_end();
+
+  // Capture the raw TBS bytes (tag + length + content) for signature checks.
+  {
+    asn1::Parser probe(outer);  // copy
+    // Re-parse manually: the TBS element is the first element of the outer
+    // sequence; Element gives us only the content, so re-encode it.
+    // Simpler: find content then rebuild the TLV.
+    asn1::Element tbs_elem = probe.any();
+    cert.tbs_der_ = asn1::tlv(tbs_elem.tag, tbs_elem.content);
+  }
+
+  asn1::Parser tbs = outer.sequence();
+  {
+    asn1::Parser sig_alg = outer.sequence();
+    cert.sig_oid_ = sig_alg.oid();
+  }
+  cert.signature_ = outer.bit_string();
+  outer.expect_end();
+
+  // --- TBS body ---
+  // [0] version (optional, we expect v3)
+  if (tbs.peek_tag() == asn1::context_tag(0)) {
+    asn1::Parser version = tbs.context(0);
+    version.integer();  // 2 = v3; tolerated but unchecked beyond well-formedness
+  }
+  cert.info_.serial = tbs.integer();
+  {
+    asn1::Parser inner_alg = tbs.sequence();  // signature algorithm (repeated)
+    inner_alg.oid();
+  }
+  cert.info_.issuer_cn = parse_name_cn(tbs);
+  {
+    asn1::Parser validity = tbs.sequence();
+    cert.info_.not_before = validity.utc_time();
+    cert.info_.not_after = validity.utc_time();
+  }
+  cert.info_.subject_cn = parse_name_cn(tbs);
+  {
+    asn1::Element spki = tbs.any();
+    const Bytes spki_der = asn1::tlv(spki.tag, spki.content);
+    const auto key = PublicKey::from_spki(spki_der);
+    if (!key) throw DecodeError("unsupported SubjectPublicKeyInfo");
+    cert.info_.key = *key;
+  }
+  // [3] extensions (optional)
+  if (!tbs.empty() && tbs.peek_tag() == asn1::context_tag(3)) {
+    asn1::Parser ext_wrapper = tbs.context(3);
+    asn1::Parser exts = ext_wrapper.sequence();
+    while (!exts.empty()) {
+      asn1::Parser ext = exts.sequence();
+      const std::string oid = ext.oid();
+      bool critical = false;
+      if (ext.peek_tag() == static_cast<std::uint8_t>(asn1::Tag::kBoolean)) {
+        critical = ext.boolean();
+      }
+      (void)critical;
+      const ByteView value = ext.octet_string();
+      if (oid == kOidBasicConstraints) {
+        asn1::Parser bc(value);
+        asn1::Parser seq = bc.sequence();
+        if (!seq.empty()) cert.info_.is_ca = seq.boolean();
+      } else if (oid == kOidSubjectAltName) {
+        asn1::Parser san(value);
+        asn1::Parser names = san.sequence();
+        while (!names.empty()) {
+          const asn1::Element name = names.any();
+          if (name.tag == kDnsNameTag) cert.info_.san_dns.push_back(to_string(name.content));
+        }
+      }
+    }
+  }
+  return cert;
+}
+
+bool Certificate::verify_signature(const PublicKey& issuer_key) const {
+  crypto::HashAlgo algo;
+  try {
+    algo = hash_for_sig_oid(sig_oid_);
+  } catch (const DecodeError&) {
+    return false;
+  }
+  return issuer_key.verify(algo, tbs_der_, signature_);
+}
+
+namespace {
+bool hostname_label_match(std::string_view pattern, std::string_view host) {
+  if (pattern == host) return true;
+  // Single left-most wildcard label.
+  if (pattern.size() > 2 && pattern[0] == '*' && pattern[1] == '.') {
+    const auto dot = host.find('.');
+    if (dot == std::string_view::npos) return false;
+    return pattern.substr(2) == host.substr(dot + 1);
+  }
+  return false;
+}
+}  // namespace
+
+bool Certificate::matches_hostname(std::string_view host) const {
+  if (!info_.san_dns.empty()) {
+    for (const auto& san : info_.san_dns) {
+      if (hostname_label_match(san, host)) return true;
+    }
+    return false;  // SANs present: CN is ignored, per modern practice
+  }
+  return hostname_label_match(info_.subject_cn, host);
+}
+
+Certificate issue_certificate(const CertRequest& req, std::string_view issuer_cn,
+                              const PrivateKey& issuer_key, crypto::HashAlgo algo,
+                              const bn::BigInt& serial, crypto::Drbg& rng) {
+  using namespace asn1;
+  const Bytes version = encode_context(0, encode_integer(2));  // v3
+  const Bytes sig_alg = encode_sig_algorithm(issuer_key.type(), algo);
+  const Bytes validity =
+      encode_sequence({encode_utc_time(req.not_before), encode_utc_time(req.not_after)});
+
+  Bytes extensions;
+  {
+    // basicConstraints (critical)
+    const Bytes bc_value = req.is_ca ? encode_sequence({encode_boolean(true)})
+                                     : encode_sequence({});
+    const Bytes bc = encode_sequence({encode_oid(kOidBasicConstraints), encode_boolean(true),
+                                      encode_octet_string(bc_value)});
+    Bytes ext_list = bc;
+    if (!req.san_dns.empty()) {
+      Bytes names;
+      for (const auto& dns : req.san_dns) append(names, tlv(kDnsNameTag, to_bytes(dns)));
+      const Bytes san_value = tlv(Tag::kSequence, names);
+      const Bytes san = encode_sequence(
+          {encode_oid(kOidSubjectAltName), encode_octet_string(san_value)});
+      append(ext_list, san);
+    }
+    extensions = encode_context(3, tlv(Tag::kSequence, ext_list));
+  }
+
+  const Bytes tbs = encode_sequence({
+      version,
+      encode_integer(serial),
+      sig_alg,
+      encode_name(issuer_cn),
+      validity,
+      encode_name(req.subject_cn),
+      req.key.spki_der(),
+      extensions,
+  });
+
+  const Bytes signature = issuer_key.sign(algo, tbs, rng);
+  const Bytes cert_der = encode_sequence({tbs, sig_alg, encode_bit_string(signature)});
+  return Certificate::parse(cert_der);
+}
+
+CertificateAuthority CertificateAuthority::create(std::string name, KeyType type,
+                                                  crypto::Drbg& rng, std::int64_t not_before,
+                                                  std::int64_t not_after) {
+  CertificateAuthority ca;
+  ca.name_ = std::move(name);
+  ca.key_ = PrivateKey::generate(type, rng);
+  CertRequest req;
+  req.subject_cn = ca.name_;
+  req.not_before = not_before;
+  req.not_after = not_after;
+  req.is_ca = true;
+  req.key = ca.key_.public_key();
+  ca.root_ = issue_certificate(req, ca.name_, ca.key_, crypto::HashAlgo::kSha256, bn::BigInt(1),
+                               rng);
+  return ca;
+}
+
+Certificate CertificateAuthority::issue(const CertRequest& req, crypto::Drbg& rng) const {
+  return issue_certificate(req, name_, key_, crypto::HashAlgo::kSha256,
+                           bn::BigInt(next_serial_++), rng);
+}
+
+}  // namespace mbtls::x509

@@ -1,0 +1,102 @@
+#include "x509/keys.h"
+
+#include "asn1/der.h"
+#include "ec/ecdh.h"
+
+namespace mbtls::x509 {
+
+namespace {
+constexpr std::string_view kOidRsaEncryption = "1.2.840.113549.1.1.1";
+constexpr std::string_view kOidEcPublicKey = "1.2.840.10045.2.1";
+constexpr std::string_view kOidPrime256v1 = "1.2.840.10045.3.1.7";
+}  // namespace
+
+Bytes PublicKey::spki_der() const {
+  using namespace asn1;
+  if (type_ == KeyType::kRsa) {
+    const Bytes alg = encode_sequence({encode_oid(kOidRsaEncryption), encode_null()});
+    const Bytes key =
+        encode_sequence({encode_integer(rsa_.n), encode_integer(rsa_.e)});
+    return encode_sequence({alg, encode_bit_string(key)});
+  }
+  const Bytes alg =
+      encode_sequence({encode_oid(kOidEcPublicKey), encode_oid(kOidPrime256v1)});
+  const Bytes point = ec::P256::instance().encode_point(ec_);
+  return encode_sequence({alg, encode_bit_string(point)});
+}
+
+std::optional<PublicKey> PublicKey::from_spki(ByteView der) {
+  try {
+    asn1::Parser p(der);
+    asn1::Parser spki = p.sequence();
+    p.expect_end();
+    asn1::Parser alg = spki.sequence();
+    const std::string oid = alg.oid();
+    if (oid == kOidRsaEncryption) {
+      alg.null();
+      const Bytes key_bits = spki.bit_string();
+      asn1::Parser kp(key_bits);
+      asn1::Parser seq = kp.sequence();
+      rsa::RsaPublicKey pub;
+      pub.n = seq.integer();
+      pub.e = seq.integer();
+      return PublicKey(std::move(pub));
+    }
+    if (oid == kOidEcPublicKey) {
+      if (alg.oid() != kOidPrime256v1) return std::nullopt;
+      const Bytes point_bytes = spki.bit_string();
+      const auto point = ec::P256::instance().decode_point(point_bytes);
+      if (!point) return std::nullopt;
+      return PublicKey(*point);
+    }
+    return std::nullopt;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+bool PublicKey::verify(crypto::HashAlgo algo, ByteView message, ByteView signature) const {
+  if (type_ == KeyType::kRsa) return rsa::rsa_verify(rsa_, algo, message, signature);
+  const auto raw = ecdsa_sig_from_der(signature);
+  if (!raw) return false;
+  return ec::ecdsa_verify(ec_, algo, message, *raw);
+}
+
+PrivateKey PrivateKey::generate(KeyType type, crypto::Drbg& rng, std::size_t rsa_bits) {
+  if (type == KeyType::kRsa) return PrivateKey(rsa::rsa_generate(rsa_bits, rng));
+  return PrivateKey(ec::ecdsa_generate(rng));
+}
+
+PublicKey PrivateKey::public_key() const {
+  if (type_ == KeyType::kRsa) return PublicKey(rsa_.pub);
+  return PublicKey(ec_.public_key);
+}
+
+Bytes PrivateKey::sign(crypto::HashAlgo algo, ByteView message, crypto::Drbg& rng) const {
+  if (type_ == KeyType::kRsa) return rsa::rsa_sign(rsa_, algo, message);
+  return ecdsa_sig_to_der(ec::ecdsa_sign(ec_, algo, message, rng));
+}
+
+Bytes ecdsa_sig_to_der(ByteView raw64) {
+  if (raw64.size() != 64) throw std::invalid_argument("raw ECDSA signature must be 64 bytes");
+  const bn::BigInt r = bn::BigInt::from_bytes(raw64.first(32));
+  const bn::BigInt s = bn::BigInt::from_bytes(raw64.subspan(32));
+  return asn1::encode_sequence({asn1::encode_integer(r), asn1::encode_integer(s)});
+}
+
+std::optional<Bytes> ecdsa_sig_from_der(ByteView der) {
+  try {
+    asn1::Parser p(der);
+    asn1::Parser seq = p.sequence();
+    p.expect_end();
+    const bn::BigInt r = seq.integer();
+    const bn::BigInt s = seq.integer();
+    seq.expect_end();
+    if (r.byte_length() > 32 || s.byte_length() > 32) return std::nullopt;
+    return concat({r.to_bytes(32), s.to_bytes(32)});
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace mbtls::x509

@@ -1,0 +1,75 @@
+// Public/private key abstraction over the two key types the TLS stack
+// supports (RSA and ECDSA-P256), with SubjectPublicKeyInfo (SPKI) DER
+// encoding and TLS-style signatures.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/drbg.h"
+#include "crypto/sha2.h"
+#include "ec/ecdsa.h"
+#include "rsa/rsa.h"
+#include "util/bytes.h"
+
+namespace mbtls::x509 {
+
+enum class KeyType : std::uint8_t {
+  kRsa = 1,
+  kEcdsaP256 = 3,  // values match the TLS SignatureAlgorithm registry
+};
+
+class PublicKey {
+ public:
+  PublicKey() = default;
+  explicit PublicKey(rsa::RsaPublicKey k) : type_(KeyType::kRsa), rsa_(std::move(k)) {}
+  explicit PublicKey(ec::AffinePoint k) : type_(KeyType::kEcdsaP256), ec_(k) {}
+
+  KeyType type() const { return type_; }
+  const rsa::RsaPublicKey& rsa() const { return rsa_; }
+  const ec::AffinePoint& ec() const { return ec_; }
+
+  /// DER SubjectPublicKeyInfo.
+  Bytes spki_der() const;
+  static std::optional<PublicKey> from_spki(ByteView der);
+
+  /// Verify a signature as produced by PrivateKey::sign: RSA PKCS#1 v1.5 or
+  /// ECDSA (DER-encoded r,s).
+  bool verify(crypto::HashAlgo algo, ByteView message, ByteView signature) const;
+
+ private:
+  KeyType type_ = KeyType::kRsa;
+  rsa::RsaPublicKey rsa_;
+  ec::AffinePoint ec_;
+};
+
+class PrivateKey {
+ public:
+  PrivateKey() = default;
+  explicit PrivateKey(rsa::RsaKeyPair k) : type_(KeyType::kRsa), rsa_(std::move(k)) {}
+  explicit PrivateKey(ec::EcdsaKeyPair k) : type_(KeyType::kEcdsaP256), ec_(k) {}
+
+  /// Generate a key of the given type. RSA uses 2048-bit moduli.
+  static PrivateKey generate(KeyType type, crypto::Drbg& rng, std::size_t rsa_bits = 2048);
+
+  KeyType type() const { return type_; }
+  const rsa::RsaKeyPair& rsa() const { return rsa_; }
+  const ec::EcdsaKeyPair& ec() const { return ec_; }
+
+  PublicKey public_key() const;
+
+  /// Sign a message; the encoding depends on key type (RSA PKCS#1 v1.5
+  /// raw modulus-size bytes, ECDSA DER SEQUENCE{r, s}).
+  Bytes sign(crypto::HashAlgo algo, ByteView message, crypto::Drbg& rng) const;
+
+ private:
+  KeyType type_ = KeyType::kRsa;
+  rsa::RsaKeyPair rsa_;
+  ec::EcdsaKeyPair ec_;
+};
+
+/// DER-encode / decode an ECDSA raw (r || s) signature as SEQUENCE{r, s}.
+Bytes ecdsa_sig_to_der(ByteView raw64);
+std::optional<Bytes> ecdsa_sig_from_der(ByteView der);
+
+}  // namespace mbtls::x509

@@ -1,0 +1,57 @@
+#include "x509/verify.h"
+
+namespace mbtls::x509 {
+
+const char* to_string(VerifyStatus s) {
+  switch (s) {
+    case VerifyStatus::kOk: return "ok";
+    case VerifyStatus::kEmptyChain: return "empty chain";
+    case VerifyStatus::kExpired: return "certificate expired";
+    case VerifyStatus::kNotYetValid: return "certificate not yet valid";
+    case VerifyStatus::kBadSignature: return "bad signature";
+    case VerifyStatus::kUnknownIssuer: return "unknown issuer";
+    case VerifyStatus::kIssuerNotCa: return "issuer is not a CA";
+    case VerifyStatus::kHostnameMismatch: return "hostname mismatch";
+  }
+  return "unknown";
+}
+
+VerifyStatus verify_chain(std::span<const Certificate> chain,
+                          std::span<const Certificate> trust_anchors,
+                          const VerifyOptions& options) {
+  if (chain.empty()) return VerifyStatus::kEmptyChain;
+
+  for (const auto& cert : chain) {
+    if (options.now < cert.info().not_before) return VerifyStatus::kNotYetValid;
+    if (options.now > cert.info().not_after) return VerifyStatus::kExpired;
+  }
+
+  if (!options.hostname.empty() && !chain[0].matches_hostname(options.hostname))
+    return VerifyStatus::kHostnameMismatch;
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    if (i + 1 < chain.size()) {
+      const Certificate& issuer = chain[i + 1];
+      if (!issuer.info().is_ca) return VerifyStatus::kIssuerNotCa;
+      if (issuer.info().subject_cn != cert.info().issuer_cn) return VerifyStatus::kUnknownIssuer;
+      if (!cert.verify_signature(issuer.info().key)) return VerifyStatus::kBadSignature;
+      continue;
+    }
+    // Last element: must be signed by (or be) a trust anchor.
+    bool anchored = false;
+    for (const auto& anchor : trust_anchors) {
+      if (anchor.info().subject_cn != cert.info().issuer_cn) continue;
+      if (!anchor.info().is_ca) continue;
+      if (cert.verify_signature(anchor.info().key)) {
+        anchored = true;
+        break;
+      }
+      return VerifyStatus::kBadSignature;
+    }
+    if (!anchored) return VerifyStatus::kUnknownIssuer;
+  }
+  return VerifyStatus::kOk;
+}
+
+}  // namespace mbtls::x509

@@ -1,0 +1,38 @@
+// Certificate chain verification against a set of trust anchors.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "x509/certificate.h"
+
+namespace mbtls::x509 {
+
+enum class VerifyStatus {
+  kOk,
+  kEmptyChain,
+  kExpired,
+  kNotYetValid,
+  kBadSignature,
+  kUnknownIssuer,
+  kIssuerNotCa,
+  kHostnameMismatch,
+};
+
+const char* to_string(VerifyStatus s);
+
+struct VerifyOptions {
+  std::int64_t now = 0;     // Unix seconds (simulated clock)
+  std::string hostname;     // empty = skip hostname check
+};
+
+/// Verify `chain` (leaf first) against `trust_anchors`. Every certificate's
+/// validity window is checked; each signature is checked against the next
+/// certificate in the chain or, for the last element, against a matching
+/// trust anchor (matched by issuer CN, then by signature).
+VerifyStatus verify_chain(std::span<const Certificate> chain,
+                          std::span<const Certificate> trust_anchors,
+                          const VerifyOptions& options);
+
+}  // namespace mbtls::x509

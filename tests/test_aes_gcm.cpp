@@ -1,0 +1,179 @@
+// AES known answers from FIPS 197 appendix C and AES-GCM known answers from
+// the original GCM spec test vectors (McGrew & Viega), plus round-trip and
+// tamper-detection properties.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "util/hex.h"
+
+namespace mbtls::crypto {
+namespace {
+
+Bytes encrypt_one(const Aes& aes, const Bytes& pt) {
+  Bytes out(16);
+  aes.encrypt_block(pt.data(), out.data());
+  return out;
+}
+
+TEST(Aes, Fips197Aes128) {
+  const Aes aes(hex_decode("000102030405060708090a0b0c0d0e0f"));
+  const Bytes pt = hex_decode("00112233445566778899aabbccddeeff");
+  EXPECT_EQ(hex_encode(encrypt_one(aes, pt)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes192) {
+  const Aes aes(hex_decode("000102030405060708090a0b0c0d0e0f1011121314151617"));
+  const Bytes pt = hex_decode("00112233445566778899aabbccddeeff");
+  EXPECT_EQ(hex_encode(encrypt_one(aes, pt)), "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Aes aes(hex_decode("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  const Bytes pt = hex_decode("00112233445566778899aabbccddeeff");
+  EXPECT_EQ(hex_encode(encrypt_one(aes, pt)), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, DecryptInvertsEncrypt) {
+  Drbg rng("aes-roundtrip", 0);
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    const Aes aes(rng.bytes(key_len));
+    const Bytes pt = rng.bytes(16);
+    Bytes ct(16), back(16);
+    aes.encrypt_block(pt.data(), ct.data());
+    aes.decrypt_block(ct.data(), back.data());
+    EXPECT_EQ(back, pt) << "key_len " << key_len;
+    EXPECT_NE(ct, pt);
+  }
+}
+
+TEST(Aes, RejectsBadKeySize) {
+  EXPECT_THROW(Aes(Bytes(15, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(33, 0)), std::invalid_argument);
+}
+
+// GCM spec test case 1: AES-128, zero key, zero IV, empty everything.
+TEST(Gcm, SpecCase1EmptyAes128) {
+  const AesGcm gcm(Bytes(16, 0));
+  const Bytes out = gcm.seal(Bytes(12, 0), {}, {});
+  EXPECT_EQ(hex_encode(out), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+// GCM spec test case 2: AES-128, 16 zero plaintext bytes.
+TEST(Gcm, SpecCase2SingleBlockAes128) {
+  const AesGcm gcm(Bytes(16, 0));
+  const Bytes out = gcm.seal(Bytes(12, 0), {}, Bytes(16, 0));
+  EXPECT_EQ(hex_encode(out),
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+// GCM spec test case 13: AES-256, zero key/IV, empty.
+TEST(Gcm, SpecCase13EmptyAes256) {
+  const AesGcm gcm(Bytes(32, 0));
+  const Bytes out = gcm.seal(Bytes(12, 0), {}, {});
+  EXPECT_EQ(hex_encode(out), "530f8afbc74536b9a963b4f1c4cb738b");
+}
+
+// GCM spec test case 14: AES-256, single zero block.
+TEST(Gcm, SpecCase14SingleBlockAes256) {
+  const AesGcm gcm(Bytes(32, 0));
+  const Bytes out = gcm.seal(Bytes(12, 0), {}, Bytes(16, 0));
+  EXPECT_EQ(hex_encode(out),
+            "cea7403d4d606b6e074ec5d3baf39d18"
+            "d0d1c8a799996bf0265b98b5d48ab919");
+}
+
+// GCM spec test case 4: AES-128 with AAD and a non-multiple-of-16 plaintext.
+TEST(Gcm, SpecCase4WithAad) {
+  const AesGcm gcm(hex_decode("feffe9928665731c6d6a8f9467308308"));
+  const Bytes iv = hex_decode("cafebabefacedbaddecaf888");
+  const Bytes pt = hex_decode(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const Bytes aad = hex_decode("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const Bytes out = gcm.seal(iv, aad, pt);
+  EXPECT_EQ(hex_encode(out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(Gcm, OpenRoundTrip) {
+  Drbg rng("gcm-roundtrip", 1);
+  const AesGcm gcm(rng.bytes(32));
+  const Bytes iv = rng.bytes(12);
+  const Bytes aad = rng.bytes(13);
+  const Bytes pt = rng.bytes(100);
+  const Bytes sealed = gcm.seal(iv, aad, pt);
+  const auto opened = gcm.open(iv, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(Gcm, DetectsCiphertextTampering) {
+  Drbg rng("gcm-tamper", 2);
+  const AesGcm gcm(rng.bytes(16));
+  const Bytes iv = rng.bytes(12);
+  const Bytes pt = rng.bytes(48);
+  Bytes sealed = gcm.seal(iv, {}, pt);
+  // Flip every byte position in turn; all must fail authentication.
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    Bytes mutated = sealed;
+    mutated[i] ^= 0x01;
+    EXPECT_FALSE(gcm.open(iv, {}, mutated).has_value()) << "byte " << i;
+  }
+}
+
+TEST(Gcm, DetectsAadTampering) {
+  Drbg rng("gcm-aad", 3);
+  const AesGcm gcm(rng.bytes(16));
+  const Bytes iv = rng.bytes(12);
+  const Bytes aad = rng.bytes(8);
+  const Bytes sealed = gcm.seal(iv, aad, Bytes(10, 0x7f));
+  Bytes bad_aad = aad;
+  bad_aad[0] ^= 1;
+  EXPECT_FALSE(gcm.open(iv, bad_aad, sealed).has_value());
+  EXPECT_TRUE(gcm.open(iv, aad, sealed).has_value());
+}
+
+TEST(Gcm, WrongIvFails) {
+  Drbg rng("gcm-iv", 4);
+  const AesGcm gcm(rng.bytes(16));
+  const Bytes iv = rng.bytes(12);
+  const Bytes sealed = gcm.seal(iv, {}, Bytes(10, 1));
+  Bytes other_iv = iv;
+  other_iv[11] ^= 1;
+  EXPECT_FALSE(gcm.open(other_iv, {}, sealed).has_value());
+}
+
+TEST(Gcm, TruncatedInputRejected) {
+  const AesGcm gcm(Bytes(16, 0));
+  EXPECT_FALSE(gcm.open(Bytes(12, 0), {}, Bytes(15, 0)).has_value());
+}
+
+TEST(Gcm, RejectsBadIvSize) {
+  const AesGcm gcm(Bytes(16, 0));
+  EXPECT_THROW(gcm.seal(Bytes(11, 0), {}, {}), std::invalid_argument);
+  EXPECT_THROW(gcm.seal(Bytes(16, 0), {}, {}), std::invalid_argument);
+}
+
+// Round-trip sweep over plaintext sizes crossing block boundaries.
+class GcmSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GcmSizeSweep, RoundTrip) {
+  Drbg rng("gcm-sweep", GetParam());
+  const AesGcm gcm(rng.bytes(32));
+  const Bytes iv = rng.bytes(12);
+  const Bytes pt = rng.bytes(GetParam());
+  const auto opened = gcm.open(iv, {}, gcm.seal(iv, {}, pt));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmSizeSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 255, 256, 1000, 16384));
+
+}  // namespace
+}  // namespace mbtls::crypto

@@ -1,0 +1,164 @@
+// DER encode/decode round trips and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "asn1/der.h"
+#include "util/hex.h"
+
+namespace mbtls::asn1 {
+namespace {
+
+TEST(Der, IntegerEncoding) {
+  EXPECT_EQ(hex_encode(encode_integer(std::int64_t{0})), "020100");
+  EXPECT_EQ(hex_encode(encode_integer(std::int64_t{127})), "02017f");
+  // 128 needs a leading zero byte (two's complement).
+  EXPECT_EQ(hex_encode(encode_integer(std::int64_t{128})), "02020080");
+  EXPECT_EQ(hex_encode(encode_integer(std::int64_t{256})), "02020100");
+}
+
+TEST(Der, IntegerRoundTrip) {
+  const bn::BigInt v = bn::BigInt::from_hex("deadbeef00112233");
+  const Bytes enc = encode_integer(v);
+  Parser p(enc);
+  EXPECT_EQ(p.integer(), v);
+}
+
+TEST(Der, SmallInteger) {
+  const Bytes enc = encode_integer(std::int64_t{65537});
+  Parser p(enc);
+  EXPECT_EQ(p.small_integer(), 65537);
+}
+
+TEST(Der, LongFormLength) {
+  const Bytes big(300, 0x55);
+  const Bytes enc = encode_octet_string(big);
+  // 0x04, 0x82, 0x01, 0x2c prefix.
+  EXPECT_EQ(hex_encode(ByteView(enc).first(4)), "0482012c");
+  Parser p(enc);
+  EXPECT_EQ(to_bytes(p.octet_string()), big);
+}
+
+TEST(Der, RejectsNonMinimalLength) {
+  // 0x04 0x81 0x05 would be a non-minimal long-form encoding for length 5.
+  const Bytes bad = {0x04, 0x81, 0x05, 1, 2, 3, 4, 5};
+  Parser p(bad);
+  EXPECT_THROW(p.any(), DecodeError);
+}
+
+TEST(Der, RejectsTruncated) {
+  const Bytes bad = {0x30, 0x05, 0x01};
+  Parser p(bad);
+  EXPECT_THROW(p.any(), DecodeError);
+}
+
+TEST(Der, OidKnownEncodings) {
+  // sha256WithRSAEncryption 1.2.840.113549.1.1.11
+  EXPECT_EQ(hex_encode(encode_oid("1.2.840.113549.1.1.11")), "06092a864886f70d01010b");
+  // id-ecPublicKey 1.2.840.10045.2.1
+  EXPECT_EQ(hex_encode(encode_oid("1.2.840.10045.2.1")), "06072a8648ce3d0201");
+  // commonName 2.5.4.3
+  EXPECT_EQ(hex_encode(encode_oid("2.5.4.3")), "0603550403");
+}
+
+TEST(Der, OidRoundTrip) {
+  for (const char* oid : {"1.2.840.113549.1.1.11", "2.5.29.17", "1.3.6.1.4.1.311.1",
+                          "2.5.4.3", "1.2.840.10045.4.3.2"}) {
+    const Bytes enc = encode_oid(oid);
+    Parser p(enc);
+    EXPECT_EQ(p.oid(), oid);
+  }
+}
+
+TEST(Der, OidRejectsMalformedText) {
+  EXPECT_THROW(encode_oid(""), std::invalid_argument);
+  EXPECT_THROW(encode_oid("1."), std::invalid_argument);
+  EXPECT_THROW(encode_oid("abc"), std::invalid_argument);
+  EXPECT_THROW(encode_oid("3.1"), std::invalid_argument);
+}
+
+TEST(Der, BooleanAndNull) {
+  const Bytes bt = encode_boolean(true);
+  Parser pt(bt);
+  EXPECT_TRUE(pt.boolean());
+  const Bytes bf = encode_boolean(false);
+  Parser pf(bf);
+  EXPECT_FALSE(pf.boolean());
+  const Bytes bn = encode_null();
+  Parser pn(bn);
+  EXPECT_NO_THROW(pn.null());
+}
+
+TEST(Der, BitString) {
+  const Bytes payload = {0xde, 0xad};
+  const Bytes enc = encode_bit_string(payload);
+  Parser p(enc);
+  EXPECT_EQ(p.bit_string(), payload);
+}
+
+TEST(Der, Strings) {
+  const Bytes bu = encode_utf8_string("héllo");
+  Parser pu(bu);
+  EXPECT_EQ(pu.string(), "héllo");
+  const Bytes bp = encode_printable_string("Example CA");
+  Parser pp(bp);
+  EXPECT_EQ(pp.string(), "Example CA");
+}
+
+TEST(Der, UtcTimeRoundTrip) {
+  // 2017-12-12 12:00:00 UTC (the CoNEXT'17 dates) = 1513080000.
+  const std::int64_t t = 1513080000;
+  const Bytes enc = encode_utc_time(t);
+  Parser p(enc);
+  EXPECT_EQ(p.utc_time(), t);
+}
+
+TEST(Der, UtcTimeKnownString) {
+  // Unix epoch: 700101000000Z.
+  const Bytes enc = encode_utc_time(0);
+  // Skip tag (0x17) + length (0x0d).
+  EXPECT_EQ(to_string(ByteView(enc).subspan(2)), "700101000000Z");
+}
+
+TEST(Der, UtcTimeRangeEnforced) {
+  EXPECT_THROW(encode_utc_time(4102444800), std::invalid_argument);  // 2100
+}
+
+TEST(Der, UtcTimeSweep) {
+  for (std::int64_t t : {0L, 86399L, 86400L, 951782400L /* 2000-02-29 */,
+                         1513080000L, 2524607999L /* 2049-12-31 23:59:59 */}) {
+    const Bytes enc = encode_utc_time(t);
+    Parser p(enc);
+    EXPECT_EQ(p.utc_time(), t) << t;
+  }
+}
+
+TEST(Der, SequenceNesting) {
+  const Bytes inner = encode_sequence({encode_integer(std::int64_t{1}), encode_null()});
+  const Bytes outer = encode_sequence({inner, encode_boolean(true)});
+  Parser p(outer);
+  Parser seq = p.sequence();
+  p.expect_end();
+  Parser in = seq.sequence();
+  EXPECT_EQ(in.small_integer(), 1);
+  in.null();
+  in.expect_end();
+  EXPECT_TRUE(seq.boolean());
+  seq.expect_end();
+}
+
+TEST(Der, ContextTags) {
+  const Bytes wrapped = encode_context(3, encode_integer(std::int64_t{7}));
+  EXPECT_EQ(wrapped[0], 0xa3);
+  Parser p(wrapped);
+  Parser inner = p.context(3);
+  EXPECT_EQ(inner.small_integer(), 7);
+}
+
+TEST(Der, PeekDoesNotConsume) {
+  const Bytes enc = encode_boolean(true);
+  Parser p(enc);
+  EXPECT_EQ(p.peek_tag(), 0x01);
+  EXPECT_TRUE(p.boolean());
+}
+
+}  // namespace
+}  // namespace mbtls::asn1

@@ -1,0 +1,252 @@
+// Split-TLS and naive key-share baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/naive_shared_key.h"
+#include "baselines/split_tls.h"
+#include "tests/tls_test_util.h"
+
+namespace mbtls::baselines {
+namespace {
+
+using tls::testing::make_identity;
+using tls::testing::shared_rng;
+using tls::testing::test_ca;
+
+const x509::CertificateAuthority& corp_ca() {
+  static const auto ca =
+      x509::CertificateAuthority::create("Corp Root", x509::KeyType::kEcdsaP256, shared_rng());
+  return ca;
+}
+
+struct SplitChain {
+  tls::Engine* client;
+  SplitTlsMiddlebox* mbox;
+  tls::Engine* server;
+
+  void pump(int iters = 50) {
+    for (int i = 0; i < iters; ++i) {
+      bool moved = false;
+      Bytes a = client->take_output();
+      if (!a.empty()) {
+        moved = true;
+        mbox->feed_from_client(a);
+      }
+      Bytes b = mbox->take_to_server();
+      if (!b.empty()) {
+        moved = true;
+        server->feed(b);
+      }
+      Bytes c = server->take_output();
+      if (!c.empty()) {
+        moved = true;
+        mbox->feed_from_server(c);
+      }
+      Bytes d = mbox->take_to_client();
+      if (!d.empty()) {
+        moved = true;
+        client->feed(d);
+      }
+      if (!moved) break;
+    }
+  }
+};
+
+TEST(SplitTls, InterceptsWithFabricatedCertificate) {
+  const auto id = make_identity("intercepted.example");
+  tls::Config ccfg;
+  ccfg.is_client = true;
+  ccfg.trust_anchors = {corp_ca().root()};  // provisioned custom root
+  ccfg.server_name = "intercepted.example";
+  ccfg.rng_label = "split-c";
+  tls::Engine client(ccfg);
+
+  SplitTlsMiddlebox::Options mopts;
+  mopts.ca = &corp_ca();
+  mopts.upstream_trust_anchors = {test_ca().root()};
+  SplitTlsMiddlebox mbox(std::move(mopts));
+
+  tls::Config scfg;
+  scfg.is_client = false;
+  scfg.private_key = id.key;
+  scfg.certificate_chain = id.chain;
+  scfg.rng_label = "split-s";
+  tls::Engine server(scfg);
+
+  SplitChain chain{&client, &mbox, &server};
+  client.start();
+  chain.pump();
+
+  ASSERT_TRUE(client.handshake_done()) << client.error_message();
+  ASSERT_TRUE(server.handshake_done()) << server.error_message();
+  EXPECT_TRUE(mbox.both_established());
+  // The client accepted a FABRICATED certificate: issued by the corp CA,
+  // not by the genuine web CA.
+  ASSERT_TRUE(client.peer_certificate().has_value());
+  EXPECT_EQ(client.peer_certificate()->info().issuer_cn, "Corp Root");
+  EXPECT_EQ(client.peer_certificate()->info().subject_cn, "intercepted.example");
+
+  // Data flows, and the middlebox sees ALL plaintext.
+  client.send(to_bytes(std::string_view("user password")));
+  chain.pump();
+  EXPECT_EQ(mbtls::to_string(server.take_plaintext()), "user password");
+  EXPECT_EQ(mbtls::to_string(mbox.observed_c2s()), "user password");
+}
+
+TEST(SplitTls, ClientWithoutCustomRootRejectsInterception) {
+  const auto id = make_identity("protected.example");
+  tls::Config ccfg;
+  ccfg.is_client = true;
+  ccfg.trust_anchors = {test_ca().root()};  // only the real web root
+  ccfg.server_name = "protected.example";
+  ccfg.rng_label = "split-reject-c";
+  tls::Engine client(ccfg);
+
+  SplitTlsMiddlebox::Options mopts;
+  mopts.ca = &corp_ca();
+  mopts.upstream_trust_anchors = {test_ca().root()};
+  SplitTlsMiddlebox mbox(std::move(mopts));
+
+  tls::Config scfg;
+  scfg.is_client = false;
+  scfg.private_key = id.key;
+  scfg.certificate_chain = id.chain;
+  scfg.rng_label = "split-reject-s";
+  tls::Engine server(scfg);
+
+  SplitChain chain{&client, &mbox, &server};
+  client.start();
+  chain.pump();
+  EXPECT_TRUE(client.failed());
+  EXPECT_EQ(client.last_alert(), tls::AlertDescription::kUnknownCa);
+}
+
+TEST(SplitTls, ProcessorRunsOnPlaintext) {
+  const auto id = make_identity("processed.example");
+  tls::Config ccfg;
+  ccfg.is_client = true;
+  ccfg.trust_anchors = {corp_ca().root()};
+  ccfg.server_name = "processed.example";
+  ccfg.rng_label = "split-proc-c";
+  tls::Engine client(ccfg);
+  SplitTlsMiddlebox::Options mopts;
+  mopts.ca = &corp_ca();
+  mopts.upstream_trust_anchors = {test_ca().root()};
+  mopts.processor = [](bool c2s, ByteView d) {
+    Bytes out = to_bytes(d);
+    if (c2s) append(out, to_bytes(std::string_view("!")));
+    return out;
+  };
+  SplitTlsMiddlebox mbox(std::move(mopts));
+  tls::Config scfg;
+  scfg.is_client = false;
+  scfg.private_key = id.key;
+  scfg.certificate_chain = id.chain;
+  scfg.rng_label = "split-proc-s";
+  tls::Engine server(scfg);
+  SplitChain chain{&client, &mbox, &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(mbox.both_established());
+  client.send(to_bytes(std::string_view("hi")));
+  chain.pump();
+  EXPECT_EQ(mbtls::to_string(server.take_plaintext()), "hi!");
+}
+
+TEST(NaiveKeyShare, SessionKeyCodecRoundTrip) {
+  tls::ConnectionKeys keys;
+  keys.suite = tls::CipherSuite::kEcdheEcdsaAes256GcmSha384;
+  crypto::Drbg rng("naive-codec", 0);
+  keys.keys.client_write = {rng.bytes(32), rng.bytes(4)};
+  keys.keys.server_write = {rng.bytes(32), rng.bytes(4)};
+  keys.client_seq = 5;
+  keys.server_seq = 9;
+  const auto back = decode_session_keys(encode_session_keys(keys));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->suite, keys.suite);
+  EXPECT_EQ(back->keys.client_write.key, keys.keys.client_write.key);
+  EXPECT_EQ(back->client_seq, 5u);
+  EXPECT_EQ(back->server_seq, 9u);
+  EXPECT_FALSE(decode_session_keys(Bytes(5, 0)).has_value());
+}
+
+TEST(NaiveKeyShare, MiddleboxReceivesKeysAndProcessesData) {
+  const auto server_id = make_identity("naive-origin.example");
+  const auto mbox_id = make_identity("naive-proxy.example");
+
+  NaiveKeyShareClient::Options copts;
+  copts.tls.trust_anchors = {test_ca().root()};
+  copts.tls.server_name = "naive-origin.example";
+  copts.tls.rng_label = "naive-c";
+  copts.control_tls.trust_anchors = {test_ca().root()};
+  copts.control_tls.server_name = "naive-proxy.example";
+  copts.control_tls.rng_label = "naive-ctl";
+  NaiveKeyShareClient client(std::move(copts));
+
+  NaiveKeyShareMiddlebox::Options mopts;
+  mopts.private_key = mbox_id.key;
+  mopts.certificate_chain = mbox_id.chain;
+  mopts.processor = [](bool c2s, ByteView d) {
+    Bytes out = to_bytes(d);
+    if (c2s) append(out, to_bytes(std::string_view(" [seen]")));
+    return out;
+  };
+  NaiveKeyShareMiddlebox mbox(std::move(mopts));
+
+  tls::Config scfg;
+  scfg.is_client = false;
+  scfg.private_key = server_id.key;
+  scfg.certificate_chain = server_id.chain;
+  scfg.rng_label = "naive-s";
+  tls::Engine server(scfg);
+
+  client.start();
+  for (int i = 0; i < 60; ++i) {
+    bool moved = false;
+    Bytes a = client.take_output();
+    if (!a.empty()) {
+      moved = true;
+      mbox.feed_from_client(a);
+    }
+    Bytes ctl = client.take_control_output();
+    if (!ctl.empty()) {
+      moved = true;
+      mbox.feed_control(ctl);
+    }
+    Bytes ctl2 = mbox.take_control_output();
+    if (!ctl2.empty()) {
+      moved = true;
+      client.feed_control(ctl2);
+    }
+    Bytes b = mbox.take_to_server();
+    if (!b.empty()) {
+      moved = true;
+      server.feed(b);
+    }
+    Bytes c = server.take_output();
+    if (!c.empty()) {
+      moved = true;
+      mbox.feed_from_server(c);
+    }
+    Bytes d = mbox.take_to_client();
+    if (!d.empty()) {
+      moved = true;
+      client.feed(d);
+    }
+    if (!moved) break;
+  }
+  ASSERT_TRUE(client.primary().handshake_done());
+  ASSERT_TRUE(client.ready());
+  ASSERT_TRUE(mbox.has_keys());
+
+  client.primary().send(to_bytes(std::string_view("data")));
+  for (int i = 0; i < 10; ++i) {
+    Bytes a = client.take_output();
+    if (!a.empty()) mbox.feed_from_client(a);
+    Bytes b = mbox.take_to_server();
+    if (!b.empty()) server.feed(b);
+  }
+  EXPECT_EQ(mbtls::to_string(server.take_plaintext()), "data [seen]");
+}
+
+}  // namespace
+}  // namespace mbtls::baselines

@@ -1,0 +1,167 @@
+// BigInt arithmetic: known answers, algebraic properties, and primality.
+#include <gtest/gtest.h>
+
+#include "bignum/bignum.h"
+#include "bignum/prime.h"
+#include "util/hex.h"
+
+namespace mbtls::bn {
+namespace {
+
+TEST(BigInt, HexRoundTrip) {
+  const BigInt a = BigInt::from_hex("deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(a.to_hex(), "deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(BigInt().to_hex(), "0");
+  EXPECT_EQ(BigInt(255).to_hex(), "ff");
+}
+
+TEST(BigInt, BytesRoundTripWithPadding) {
+  const BigInt a(0x1234);
+  EXPECT_EQ(hex_encode(a.to_bytes(4)), "00001234");
+  EXPECT_EQ(BigInt::from_bytes(a.to_bytes(16)), a);
+}
+
+TEST(BigInt, AddSubtract) {
+  const BigInt a = BigInt::from_hex("ffffffffffffffffffffffffffffffff");  // 2^128-1
+  const BigInt one(1);
+  const BigInt sum = a + one;
+  EXPECT_EQ(sum.to_hex(), "100000000000000000000000000000000");
+  EXPECT_EQ(sum - one, a);
+  EXPECT_EQ(sum - sum, BigInt());
+  EXPECT_THROW(one - sum, std::underflow_error);
+}
+
+TEST(BigInt, MultiplyKnownAnswer) {
+  const BigInt a = BigInt::from_hex("ffffffffffffffff");
+  EXPECT_EQ((a * a).to_hex(), "fffffffffffffffe0000000000000001");
+  EXPECT_EQ((a * BigInt()).to_hex(), "0");
+}
+
+TEST(BigInt, CompareOrdering) {
+  const BigInt a(5), b(7);
+  const BigInt big = BigInt::from_hex("10000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, big);
+  EXPECT_GT(big, a);
+  EXPECT_EQ(a.compare(BigInt(5)), 0);
+}
+
+TEST(BigInt, Shifts) {
+  const BigInt a(1);
+  EXPECT_EQ((a << 64).to_hex(), "10000000000000000");
+  EXPECT_EQ(((a << 130) >> 130), a);
+  EXPECT_EQ((a >> 1).to_hex(), "0");
+  EXPECT_EQ(BigInt::from_hex("ff00").operator>>(8).to_hex(), "ff");
+}
+
+TEST(BigInt, DivModKnownAnswers) {
+  const BigInt a = BigInt::from_hex("deadbeefdeadbeefdeadbeef");
+  const BigInt b = BigInt::from_hex("12345");
+  const auto [q, r] = a.divmod(b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+  EXPECT_THROW(a.divmod(BigInt()), std::domain_error);
+  // Single-limb fast path agrees with multi-limb path.
+  const BigInt c = BigInt::from_hex("100000000000000000000000000000001");
+  const auto [q2, r2] = c.divmod(BigInt(7));
+  EXPECT_EQ(q2 * BigInt(7) + r2, c);
+}
+
+TEST(BigInt, DivisionProperty) {
+  crypto::Drbg rng("bignum-div", 0);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = random_bits(512, rng);
+    const BigInt b = random_bits(200, rng);
+    const auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigInt, ModExpSmallKnownAnswers) {
+  EXPECT_EQ(BigInt(3).mod_exp(BigInt(4), BigInt(5)), BigInt(1));    // 81 mod 5
+  EXPECT_EQ(BigInt(2).mod_exp(BigInt(10), BigInt(1000)), BigInt(24));  // 1024 mod 1000
+  EXPECT_EQ(BigInt(7).mod_exp(BigInt(), BigInt(13)), BigInt(1));    // x^0 = 1
+}
+
+TEST(BigInt, ModExpFermat) {
+  // Fermat's little theorem for a known prime: a^(p-1) = 1 mod p.
+  const BigInt p = BigInt::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  crypto::Drbg rng("fermat", 0);
+  for (int i = 0; i < 5; ++i) {
+    const BigInt a = random_below(p - BigInt(2), rng) + BigInt(2);
+    EXPECT_EQ(a.mod_exp(p - BigInt(1), p), BigInt(1));
+  }
+}
+
+TEST(BigInt, ModExpEvenModulus) {
+  // Even modulus exercises the non-Montgomery path.
+  EXPECT_EQ(BigInt(3).mod_exp(BigInt(5), BigInt(100)), BigInt(43));  // 243 mod 100
+}
+
+TEST(BigInt, ModExpMatchesNaive) {
+  crypto::Drbg rng("modexp-naive", 0);
+  const BigInt m = random_bits(128, rng) + BigInt(1);
+  BigInt base = random_bits(100, rng);
+  const std::uint64_t e = 1 + rng.uniform(50);
+  // Naive repeated multiplication.
+  BigInt expected(1);
+  for (std::uint64_t i = 0; i < e; ++i) expected = (expected * base) % m;
+  EXPECT_EQ(base.mod_exp(BigInt(e), m), expected);
+}
+
+TEST(BigInt, ModInverse) {
+  const BigInt m = BigInt::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  crypto::Drbg rng("inv", 0);
+  for (int i = 0; i < 10; ++i) {
+    const BigInt a = random_below(m - BigInt(1), rng) + BigInt(1);
+    const BigInt inv = a.mod_inverse(m);
+    EXPECT_EQ((a * inv) % m, BigInt(1));
+  }
+  EXPECT_THROW(BigInt(4).mod_inverse(BigInt(8)), std::domain_error);
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(48), BigInt(36)), BigInt(12));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(5)), BigInt(1));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(9)), BigInt(9));
+}
+
+TEST(Prime, KnownPrimesAndComposites) {
+  crypto::Drbg rng("prime-known", 0);
+  EXPECT_TRUE(is_probable_prime(BigInt(2), rng));
+  EXPECT_TRUE(is_probable_prime(BigInt(65537), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt(1), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt(65536), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt(561), rng));   // Carmichael number
+  EXPECT_FALSE(is_probable_prime(BigInt(341), rng));   // Fermat pseudoprime base 2
+  // The P-256 field prime and group order are prime.
+  EXPECT_TRUE(is_probable_prime(
+      BigInt::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"), rng));
+  EXPECT_TRUE(is_probable_prime(
+      BigInt::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"), rng));
+}
+
+TEST(Prime, GeneratePrimeHasRequestedSize) {
+  crypto::Drbg rng("prime-gen", 0);
+  const BigInt p = generate_prime(256, rng);
+  EXPECT_EQ(p.bit_length(), 256u);
+  EXPECT_TRUE(p.is_odd());
+  EXPECT_TRUE(is_probable_prime(p, rng));
+}
+
+TEST(Prime, GenerateSafePrime) {
+  crypto::Drbg rng("safe-prime", 0);
+  const BigInt p = generate_safe_prime(128, rng);
+  EXPECT_TRUE(is_probable_prime(p, rng));
+  EXPECT_TRUE(is_probable_prime((p - BigInt(1)) >> 1, rng));
+}
+
+TEST(Prime, RandomBelowIsBelow) {
+  crypto::Drbg rng("below", 0);
+  const BigInt bound = BigInt::from_hex("10000000000000001");
+  for (int i = 0; i < 100; ++i) EXPECT_LT(random_below(bound, rng), bound);
+}
+
+}  // namespace
+}  // namespace mbtls::bn

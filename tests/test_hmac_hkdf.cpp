@@ -1,0 +1,92 @@
+// HMAC known answers from RFC 4231 and HKDF known answers from RFC 5869.
+#include <gtest/gtest.h>
+
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "util/hex.h"
+
+namespace mbtls::crypto {
+namespace {
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto data = to_bytes(std::string_view("Hi There"));
+  EXPECT_EQ(hex_encode(hmac(HashAlgo::kSha256, key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  EXPECT_EQ(hex_encode(hmac(HashAlgo::kSha384, key, data)),
+            "afd03944d84895626b0825f4ab46907f15f9dadbe4101ec682aa034c7cebc59c"
+            "faea9ea9076ede7f4af152e8b2fa9cb6");
+}
+
+// RFC 4231 test case 2: key and data shorter than block.
+TEST(Hmac, Rfc4231Case2) {
+  const auto key = to_bytes(std::string_view("Jefe"));
+  const auto data = to_bytes(std::string_view("what do ya want for nothing?"));
+  EXPECT_EQ(hex_encode(hmac(HashAlgo::kSha256, key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 0xaa * 20 key, 0xdd * 50 data.
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_encode(hmac(HashAlgo::kSha256, key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than block size (131 bytes of 0xaa).
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const auto data = to_bytes(std::string_view("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex_encode(hmac(HashAlgo::kSha256, key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, StreamingMatchesOneShot) {
+  const Bytes key(64, 0x42);
+  const auto data = to_bytes(std::string_view("streaming hmac message body"));
+  Hmac h(HashAlgo::kSha384, key);
+  h.update(ByteView(data).first(5));
+  h.update(ByteView(data).subspan(5));
+  EXPECT_EQ(h.finish(), hmac(HashAlgo::kSha384, key, data));
+}
+
+// RFC 5869 test case 1 (SHA-256).
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = hex_decode("000102030405060708090a0b0c");
+  const Bytes info = hex_decode("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes prk = hkdf_extract(HashAlgo::kSha256, salt, ikm);
+  EXPECT_EQ(hex_encode(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  const Bytes okm = hkdf_expand(HashAlgo::kSha256, prk, info, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3: zero-length salt and info.
+TEST(Hkdf, Rfc5869Case3) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf(HashAlgo::kSha256, {}, ikm, {}, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, OutputLengthLimit) {
+  const Bytes prk(32, 1);
+  EXPECT_NO_THROW(hkdf_expand(HashAlgo::kSha256, prk, {}, 255 * 32));
+  EXPECT_THROW(hkdf_expand(HashAlgo::kSha256, prk, {}, 255 * 32 + 1), std::length_error);
+}
+
+TEST(Hkdf, DistinctInfoGivesDistinctKeys) {
+  const Bytes ikm(32, 7);
+  const Bytes a = hkdf(HashAlgo::kSha256, {}, ikm, to_bytes(std::string_view("a")), 32);
+  const Bytes b = hkdf(HashAlgo::kSha256, {}, ikm, to_bytes(std::string_view("b")), 32);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mbtls::crypto

@@ -1,0 +1,104 @@
+// HTTP/1.1 model, parsers, and serializers.
+#include <gtest/gtest.h>
+
+#include "http/http.h"
+
+namespace mbtls::http {
+namespace {
+
+TEST(Http, RequestSerializeParseRoundTrip) {
+  Request req;
+  req.method = "POST";
+  req.target = "/api/v1/items";
+  req.headers.set("Host", "origin.example");
+  req.headers.set("X-Custom", "abc");
+  req.body = to_bytes(std::string_view("{\"k\":1}"));
+  const Bytes wire = req.serialize();
+  const auto parsed = parse_request(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->target, "/api/v1/items");
+  EXPECT_EQ(parsed->headers.get("host"), "origin.example");  // case-insensitive
+  EXPECT_EQ(parsed->body, req.body);
+}
+
+TEST(Http, ResponseSerializeParseRoundTrip) {
+  Response resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  resp.headers.set("Content-Type", "text/plain");
+  resp.body = to_bytes(std::string_view("missing"));
+  const auto parsed = parse_response(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 404);
+  EXPECT_EQ(parsed->reason, "Not Found");
+  EXPECT_EQ(to_string(parsed->body), "missing");
+}
+
+TEST(Http, ContentLengthAutoAdded) {
+  Request req;
+  req.body = Bytes(42, 'x');
+  const auto parsed = parse_request(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->headers.get("Content-Length"), "42");
+}
+
+TEST(Http, IncrementalParsingAcrossChunks) {
+  Request req;
+  req.target = "/split";
+  req.body = to_bytes(std::string_view("0123456789"));
+  const Bytes wire = req.serialize();
+
+  RequestParser parser;
+  for (std::size_t split = 1; split < wire.size(); split += 7) {
+    // Feed in two pieces; exactly one message should emerge, after piece 2.
+    RequestParser p2;
+    EXPECT_TRUE(p2.feed(ByteView(wire).first(split)).empty());
+    const auto msgs = p2.feed(ByteView(wire).subspan(split));
+    ASSERT_EQ(msgs.size(), 1u) << "split " << split;
+    EXPECT_EQ(msgs[0].target, "/split");
+    EXPECT_EQ(to_string(msgs[0].body), "0123456789");
+  }
+}
+
+TEST(Http, MultipleMessagesInOneFeed) {
+  Request a, b;
+  a.target = "/one";
+  b.target = "/two";
+  Bytes wire = a.serialize();
+  append(wire, b.serialize());
+  RequestParser parser;
+  const auto msgs = parser.feed(wire);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].target, "/one");
+  EXPECT_EQ(msgs[1].target, "/two");
+}
+
+TEST(Http, HeadersReplaceVsAdd) {
+  Headers h;
+  h.set("Via", "a");
+  h.set("Via", "b");  // replaces
+  EXPECT_EQ(h.get("via"), "b");
+  h.add("Via", "c");  // appends
+  EXPECT_EQ(h.entries().size(), 2u);
+  h.remove("VIA");
+  EXPECT_FALSE(h.contains("Via"));
+}
+
+TEST(Http, ParseIncompleteReturnsNothing) {
+  EXPECT_FALSE(parse_request(to_bytes(std::string_view("GET / HTTP/1.1\r\nHost: x"))).has_value());
+  // Header block complete but body missing.
+  EXPECT_FALSE(parse_request(to_bytes(std::string_view(
+                                 "GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab")))
+                   .has_value());
+}
+
+TEST(Http, ToleratesUnknownJunkHeaderLines) {
+  const auto parsed = parse_request(
+      to_bytes(std::string_view("GET /x HTTP/1.1\r\nthis line has no colon\r\nA: b\r\n\r\n")));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->headers.get("A"), "b");
+}
+
+}  // namespace
+}  // namespace mbtls::http

@@ -1,0 +1,209 @@
+// Middlebox applications: header-insertion proxy, web cache, IDS, LZ codec,
+// and compression proxies — standalone and inside real mbTLS sessions.
+#include <gtest/gtest.h>
+
+#include "mbox/cache.h"
+#include "mbox/compression_proxy.h"
+#include "mbox/header_proxy.h"
+#include "mbox/ids.h"
+#include "mbox/lz.h"
+#include "tests/mbtls_test_util.h"
+
+namespace mbtls::mbox {
+namespace {
+
+using namespace mb::testing;
+
+TEST(HeaderProxy, InsertsHeaderIntoRequests) {
+  HeaderInsertionProxy proxy("Via", "mbtls-proxy");
+  auto processor = proxy.processor();
+  http::Request req;
+  req.target = "/page";
+  const Bytes out = processor(true, req.serialize());
+  const auto parsed = http::parse_request(out);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->headers.get("Via"), "mbtls-proxy");
+  EXPECT_EQ(proxy.requests_seen(), 1u);
+}
+
+TEST(HeaderProxy, ResponsesPassThrough) {
+  HeaderInsertionProxy proxy("Via", "p");
+  auto processor = proxy.processor();
+  http::Response resp;
+  resp.body = to_bytes(std::string_view("hello"));
+  const Bytes wire = resp.serialize();
+  EXPECT_EQ(processor(false, wire), wire);
+}
+
+TEST(HeaderProxy, HandlesRequestSplitAcrossRecords) {
+  HeaderInsertionProxy proxy("Via", "p");
+  auto processor = proxy.processor();
+  http::Request req;
+  req.body = Bytes(100, 'b');
+  const Bytes wire = req.serialize();
+  const Bytes first = processor(true, ByteView(wire).first(20));
+  EXPECT_TRUE(first.empty());  // buffered
+  const Bytes second = processor(true, ByteView(wire).subspan(20));
+  const auto parsed = http::parse_request(second);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->headers.get("Via"), "p");
+  EXPECT_EQ(parsed->body, req.body);
+}
+
+TEST(HeaderProxy, WorksInsideMbtlsSession) {
+  // The paper's §5 prototype: an mbTLS HTTP header-insertion proxy.
+  const auto id = make_identity("web.example");
+  mb::ClientSession client(client_options("web.example"));
+  mb::ServerSession server(server_options(id));
+  HeaderInsertionProxy proxy("Via", "mbtls-proxy/0.1");
+  auto mopts = middlebox_options("proxy.example", mb::Middlebox::Side::kClientSide);
+  mopts.processor = proxy.processor();
+  mb::Middlebox mbox(std::move(mopts));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established()) << client.error_message();
+
+  http::Request req;
+  req.target = "/index.html";
+  req.headers.set("Host", "web.example");
+  client.send(req.serialize());
+  chain.pump();
+  const auto at_server = http::parse_request(server.take_app_data());
+  ASSERT_TRUE(at_server.has_value());
+  EXPECT_EQ(at_server->headers.get("Via"), "mbtls-proxy/0.1");
+  EXPECT_EQ(at_server->headers.get("Host"), "web.example");
+}
+
+TEST(WebCache, CachesSuccessfulResponses) {
+  WebCache cache;
+  auto processor = cache.processor();
+  http::Request req;
+  req.target = "/cached";
+  processor(true, req.serialize());
+  http::Response resp;
+  resp.body = to_bytes(std::string_view("payload"));
+  processor(false, resp.serialize());
+  const auto hit = cache.lookup("/cached");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(to_string(*hit), "payload");
+}
+
+TEST(WebCache, IgnoresNon200AndNonGet) {
+  WebCache cache;
+  auto processor = cache.processor();
+  http::Request post;
+  post.method = "POST";
+  post.target = "/no-cache";
+  processor(true, post.serialize());
+  http::Response resp;
+  processor(false, resp.serialize());
+  EXPECT_EQ(cache.size(), 0u);
+
+  http::Request get;
+  get.target = "/err";
+  processor(true, get.serialize());
+  http::Response err;
+  err.status = 500;
+  err.reason = "Server Error";
+  processor(false, err.serialize());
+  EXPECT_FALSE(cache.lookup("/err").has_value());
+}
+
+TEST(Ids, DetectsSignaturesAcrossRecordBoundaries) {
+  IntrusionDetector ids({"EVIL", "maliciouspayload"});
+  auto processor = ids.processor();
+  processor(true, to_bytes(std::string_view("nothing here")));
+  EXPECT_TRUE(ids.alerts().empty());
+  // Signature split across two process calls.
+  processor(true, to_bytes(std::string_view("...EV")));
+  processor(true, to_bytes(std::string_view("IL...")));
+  ASSERT_EQ(ids.alerts().size(), 1u);
+  EXPECT_EQ(ids.alerts()[0].signature, "EVIL");
+  EXPECT_TRUE(ids.alerts()[0].client_to_server);
+}
+
+TEST(Ids, OverlappingSignatures) {
+  IntrusionDetector ids({"abc", "bcd", "cde"});
+  auto processor = ids.processor();
+  processor(false, to_bytes(std::string_view("abcde")));
+  EXPECT_EQ(ids.alerts().size(), 3u);
+}
+
+TEST(Ids, TrafficPassesUnmodified) {
+  IntrusionDetector ids({"X"});
+  auto processor = ids.processor();
+  const Bytes data = to_bytes(std::string_view("some X data"));
+  EXPECT_EQ(processor(true, data), data);
+}
+
+TEST(Lz, RoundTripVariousInputs) {
+  crypto::Drbg rng("lz", 0);
+  const std::vector<Bytes> inputs = {
+      {},
+      to_bytes(std::string_view("a")),
+      to_bytes(std::string_view("aaaaaaaaaaaaaaaaaaaaaaaaaaaaa")),
+      to_bytes(std::string_view("abcabcabcabcabcabcabcabc")),
+      rng.bytes(10),
+      rng.bytes(5000),  // incompressible
+      Bytes(20000, 0x42),
+  };
+  for (const auto& input : inputs) {
+    const Bytes compressed = lz_compress(input);
+    const auto back = lz_decompress(compressed);
+    ASSERT_TRUE(back.has_value()) << "size " << input.size();
+    EXPECT_EQ(*back, input) << "size " << input.size();
+  }
+}
+
+TEST(Lz, CompressesRedundantData) {
+  Bytes redundant;
+  for (int i = 0; i < 500; ++i)
+    append(redundant, to_bytes(std::string_view("the same phrase again and again. ")));
+  const Bytes compressed = lz_compress(redundant);
+  EXPECT_LT(compressed.size(), redundant.size() / 4);
+}
+
+TEST(Lz, DecompressRejectsGarbage) {
+  // A match token referencing data before the start of output.
+  const Bytes bad = {0x01, 0x00, 0x00};  // flag: match; offset 1 with empty output
+  EXPECT_FALSE(lz_decompress(bad).has_value());
+  const Bytes truncated = {0x01, 0x00};  // match token cut short
+  EXPECT_FALSE(lz_decompress(truncated).has_value());
+}
+
+TEST(CompressionProxy, PairShrinksWireAndRestoresData) {
+  // Compressor on the server side, decompressor on the client side; the
+  // repetitive response crosses the middle of the path compressed.
+  const auto id = make_identity("big.example");
+  mb::ClientSession client(client_options("big.example"));
+  mb::ServerSession server(server_options(id));
+
+  DecompressorProxy decomp;
+  auto c_opts = middlebox_options("decompress.example", mb::Middlebox::Side::kClientSide);
+  c_opts.processor = decomp.processor();
+  mb::Middlebox client_mbox(std::move(c_opts));
+
+  CompressorProxy comp;
+  auto s_opts = middlebox_options("compress.example", mb::Middlebox::Side::kServerSide);
+  s_opts.processor = comp.processor();
+  mb::Middlebox server_mbox(std::move(s_opts));
+
+  Chain chain{.client = &client, .middleboxes = {&client_mbox, &server_mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established()) << client.error_message();
+
+  Bytes page;
+  for (int i = 0; i < 200; ++i)
+    append(page, to_bytes(std::string_view("<div class=\"item\">repetitive markup</div>\n")));
+  server.send(page);
+  chain.pump();
+  EXPECT_EQ(client.take_app_data(), page);
+  EXPECT_GT(comp.bytes_in(), 0u);
+  EXPECT_LT(comp.bytes_out(), comp.bytes_in() / 2);  // real wire savings
+  EXPECT_EQ(decomp.failures(), 0u);
+}
+
+}  // namespace
+}  // namespace mbtls::mbox

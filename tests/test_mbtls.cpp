@@ -1,0 +1,443 @@
+// mbTLS end-to-end integration: discovery, secondary handshakes, per-hop
+// keys, data re-protection, middlebox processing, legacy interop, SGX
+// protection, and approval policies.
+#include <gtest/gtest.h>
+
+#include "tests/mbtls_test_util.h"
+
+namespace mbtls::mb {
+namespace {
+
+using namespace testing;
+
+TEST(Mbtls, NoMiddleboxesBehavesLikeTls) {
+  const auto id = make_identity("plain.example");
+  ClientSession client(client_options("plain.example"));
+  ServerSession server(server_options(id));
+  Chain chain{.client = &client, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established()) << client.error_message();
+  ASSERT_TRUE(server.established()) << server.error_message();
+  EXPECT_EQ(client.middleboxes().size(), 0u);
+
+  client.send(to_bytes(std::string_view("GET /")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_app_data()), "GET /");
+  server.send(to_bytes(std::string_view("200 OK")));
+  chain.pump();
+  EXPECT_EQ(to_string(client.take_app_data()), "200 OK");
+}
+
+TEST(Mbtls, SingleClientSideMiddlebox) {
+  const auto id = make_identity("origin.example");
+  ClientSession client(client_options("origin.example"));
+  ServerSession server(server_options(id));
+  Middlebox mbox(middlebox_options("proxy.mboxes.example", Middlebox::Side::kClientSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+
+  ASSERT_TRUE(client.established()) << client.error_message();
+  ASSERT_TRUE(server.established()) << server.error_message();
+  EXPECT_TRUE(mbox.joined());
+  EXPECT_FALSE(mbox.relay_mode());
+  ASSERT_EQ(client.middleboxes().size(), 1u);
+  EXPECT_EQ(client.middleboxes()[0].certificate_cn, "proxy.mboxes.example");
+  EXPECT_TRUE(client.middleboxes()[0].discovered);
+  // The server never learns about client-side middleboxes.
+  EXPECT_EQ(server.middleboxes().size(), 0u);
+
+  client.send(to_bytes(std::string_view("request body")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_app_data()), "request body");
+  server.send(to_bytes(std::string_view("response body")));
+  chain.pump();
+  EXPECT_EQ(to_string(client.take_app_data()), "response body");
+  EXPECT_GE(mbox.records_reprotected(), 2u);
+}
+
+TEST(Mbtls, SingleServerSideMiddlebox) {
+  const auto id = make_identity("origin.example");
+  ClientSession client(client_options("origin.example"));
+  ServerSession server(server_options(id));
+  Middlebox mbox(middlebox_options("cdn.mboxes.example", Middlebox::Side::kServerSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+
+  ASSERT_TRUE(client.established()) << client.error_message();
+  ASSERT_TRUE(server.established()) << server.error_message();
+  EXPECT_TRUE(mbox.joined());
+  EXPECT_EQ(server.announcements_seen(), 1u);
+  ASSERT_EQ(server.middleboxes().size(), 1u);
+  EXPECT_EQ(server.middleboxes()[0].certificate_cn, "cdn.mboxes.example");
+  // The client never learns about server-side middleboxes.
+  EXPECT_EQ(client.middleboxes().size(), 0u);
+
+  client.send(to_bytes(std::string_view("ping")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_app_data()), "ping");
+  server.send(to_bytes(std::string_view("pong")));
+  chain.pump();
+  EXPECT_EQ(to_string(client.take_app_data()), "pong");
+}
+
+TEST(Mbtls, MultipleMiddlebloxesBothSides) {
+  const auto id = make_identity("origin.example");
+  ClientSession client(client_options("origin.example"));
+  ServerSession server(server_options(id));
+  Middlebox c1(middlebox_options("c1.example", Middlebox::Side::kClientSide));
+  Middlebox c0(middlebox_options("c0.example", Middlebox::Side::kClientSide));
+  Middlebox s0(middlebox_options("s0.example", Middlebox::Side::kServerSide));
+  Middlebox s1(middlebox_options("s1.example", Middlebox::Side::kServerSide));
+  // Path: client - c1 - c0 - s0 - s1 - server (paper Figure 4).
+  Chain chain{.client = &client, .middleboxes = {&c1, &c0, &s0, &s1}, .server = &server};
+  client.start();
+  chain.pump();
+
+  ASSERT_TRUE(client.established()) << client.error_message();
+  ASSERT_TRUE(server.established()) << server.error_message();
+  EXPECT_TRUE(c1.joined());
+  EXPECT_TRUE(c0.joined());
+  EXPECT_TRUE(s0.joined());
+  EXPECT_TRUE(s1.joined());
+  EXPECT_EQ(client.middleboxes().size(), 2u);
+  EXPECT_EQ(server.middleboxes().size(), 2u);
+  // Subchannel numbering: farther-from-endpoint first.
+  EXPECT_EQ(c0.subchannel(), 1);  // closest to server on the client side
+  EXPECT_EQ(c1.subchannel(), 2);
+  EXPECT_EQ(s0.subchannel(), 1);  // closest to client on the server side
+  EXPECT_EQ(s1.subchannel(), 2);
+
+  client.send(to_bytes(std::string_view("end to end")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_app_data()), "end to end");
+  server.send(to_bytes(std::string_view("and back")));
+  chain.pump();
+  EXPECT_EQ(to_string(client.take_app_data()), "and back");
+}
+
+TEST(Mbtls, MiddleboxProcessorModifiesData) {
+  const auto id = make_identity("origin.example");
+  ClientSession client(client_options("origin.example"));
+  ServerSession server(server_options(id));
+  auto opts = middlebox_options("rewriter.example", Middlebox::Side::kClientSide);
+  opts.processor = [](bool c2s, ByteView data) {
+    Bytes out = to_bytes(data);
+    if (c2s) append(out, to_bytes(std::string_view(" [via proxy]")));
+    return out;
+  };
+  Middlebox mbox(std::move(opts));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established());
+
+  client.send(to_bytes(std::string_view("GET /")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_app_data()), "GET / [via proxy]");
+  server.send(to_bytes(std::string_view("untouched")));
+  chain.pump();
+  EXPECT_EQ(to_string(client.take_app_data()), "untouched");
+}
+
+// ---------------------------------------------------------- legacy interop
+
+TEST(MbtlsLegacy, MbtlsClientWithLegacyServer) {
+  // P5: client-side middleboxes work even when the server is stock TLS 1.2.
+  const auto id = make_identity("legacy-server.example");
+  ClientSession client(client_options("legacy-server.example"));
+  tls::Config scfg;
+  scfg.is_client = false;
+  scfg.private_key = id.key;
+  scfg.certificate_chain = id.chain;
+  scfg.rng_label = "legacy-server";
+  tls::Engine server(scfg);
+  Middlebox mbox(middlebox_options("proxy.example", Middlebox::Side::kClientSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .legacy_server = &server};
+  client.start();
+  chain.pump();
+
+  ASSERT_TRUE(client.established()) << client.error_message();
+  ASSERT_TRUE(server.handshake_done()) << server.error_message();
+  EXPECT_TRUE(mbox.joined());
+
+  client.send(to_bytes(std::string_view("hello legacy")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_plaintext()), "hello legacy");
+  server.send(to_bytes(std::string_view("plain TLS says hi")));
+  chain.pump();
+  EXPECT_EQ(to_string(client.take_app_data()), "plain TLS says hi");
+}
+
+TEST(MbtlsLegacy, LegacyClientWithMbtlsServer) {
+  // P5 mirror: server-side middleboxes join even when the client is legacy.
+  const auto id = make_identity("mb-server.example");
+  tls::Config ccfg;
+  ccfg.is_client = true;
+  ccfg.trust_anchors = {test_ca().root()};
+  ccfg.server_name = "mb-server.example";
+  ccfg.rng_label = "legacy-client";
+  tls::Engine client(ccfg);
+  ServerSession server(server_options(id));
+  Middlebox mbox(middlebox_options("cdn.example", Middlebox::Side::kServerSide));
+  Chain chain{.legacy_client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+
+  ASSERT_TRUE(client.handshake_done()) << client.error_message();
+  ASSERT_TRUE(server.established()) << server.error_message();
+  EXPECT_TRUE(mbox.joined());
+
+  client.send(to_bytes(std::string_view("from legacy client")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_app_data()), "from legacy client");
+  server.send(to_bytes(std::string_view("server response")));
+  chain.pump();
+  EXPECT_EQ(to_string(client.take_plaintext()), "server response");
+}
+
+TEST(MbtlsLegacy, ClientSideMboxRelaysForLegacyClient) {
+  // A legacy client's hello has no MiddleboxSupport extension: the on-path
+  // middlebox must fall back to transparent relaying.
+  const auto id = make_identity("both-legacy.example");
+  tls::Config ccfg;
+  ccfg.is_client = true;
+  ccfg.trust_anchors = {test_ca().root()};
+  ccfg.server_name = "both-legacy.example";
+  ccfg.rng_label = "legacy-client2";
+  tls::Engine client(ccfg);
+  tls::Config scfg;
+  scfg.is_client = false;
+  scfg.private_key = id.key;
+  scfg.certificate_chain = id.chain;
+  scfg.rng_label = "legacy-server2";
+  tls::Engine server(scfg);
+  Middlebox mbox(middlebox_options("hopeful.example", Middlebox::Side::kClientSide));
+  Chain chain{.legacy_client = &client, .middleboxes = {&mbox}, .legacy_server = &server};
+  client.start();
+  chain.pump();
+
+  ASSERT_TRUE(client.handshake_done()) << client.error_message();
+  EXPECT_TRUE(mbox.relay_mode());
+  EXPECT_FALSE(mbox.joined());
+  EXPECT_TRUE(mbox.observed_legacy_peer());
+
+  client.send(to_bytes(std::string_view("opaque to mbox")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_plaintext()), "opaque to mbox");
+}
+
+TEST(MbtlsLegacy, ServerSideMboxDemotesWhenServerIgnoresAnnouncement) {
+  // Tolerant legacy server: ignores announcement + encapsulated records; the
+  // middlebox must notice data flowing without keys and demote to relay.
+  const auto id = make_identity("tolerant.example");
+  ClientSession client(client_options("tolerant.example"));
+  tls::Config scfg;
+  scfg.is_client = false;
+  scfg.private_key = id.key;
+  scfg.certificate_chain = id.chain;
+  scfg.ignore_unknown_record_types = true;
+  scfg.rng_label = "tolerant-server";
+  tls::Engine server(scfg);
+  Middlebox mbox(middlebox_options("ignored.example", Middlebox::Side::kServerSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .legacy_server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established()) << client.error_message();
+  ASSERT_TRUE(server.handshake_done());
+
+  client.send(to_bytes(std::string_view("flows through")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_plaintext()), "flows through");
+  EXPECT_TRUE(mbox.relay_mode());
+  EXPECT_TRUE(mbox.observed_legacy_peer());
+}
+
+TEST(MbtlsLegacy, StrictLegacyServerAbortsAndMboxCaches) {
+  // Strict legacy server: fatal alert on the announcement. The client's
+  // handshake fails (it must retry); the middlebox caches the legacy fact.
+  const auto id = make_identity("strict.example");
+  ClientSession client(client_options("strict.example"));
+  tls::Config scfg;
+  scfg.is_client = false;
+  scfg.private_key = id.key;
+  scfg.certificate_chain = id.chain;
+  scfg.ignore_unknown_record_types = false;
+  scfg.rng_label = "strict-server";
+  tls::Engine server(scfg);
+  Middlebox mbox(middlebox_options("blocked.example", Middlebox::Side::kServerSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .legacy_server = &server};
+  client.start();
+  chain.pump();
+  EXPECT_TRUE(server.failed());
+  EXPECT_FALSE(client.established());
+  EXPECT_TRUE(mbox.observed_legacy_peer());
+
+  // Retry with the cached knowledge: middlebox stays silent, handshake works.
+  ClientSession client2(client_options("strict.example", /*seed=*/9));
+  tls::Engine server2([&] {
+    tls::Config cfg = scfg;
+    cfg.rng_label = "strict-server-2";
+    return cfg;
+  }());
+  auto opts = middlebox_options("blocked.example", Middlebox::Side::kServerSide);
+  opts.peer_known_legacy = true;
+  Middlebox mbox2(std::move(opts));
+  Chain chain2{.client = &client2, .middleboxes = {&mbox2}, .legacy_server = &server2};
+  client2.start();
+  chain2.pump();
+  EXPECT_TRUE(client2.established()) << client2.error_message();
+  EXPECT_TRUE(mbox2.relay_mode());
+}
+
+// ------------------------------------------------------------ SGX & policy
+
+TEST(MbtlsSgx, OutsourcedMiddleboxAttestsAndProtectsKeys) {
+  sgx::Platform mip_platform;  // the untrusted infrastructure provider
+  sgx::Enclave& enclave = mip_platform.launch("header-proxy-v1.2");
+  const auto id = make_identity("origin.example");
+
+  auto copts = client_options("origin.example");
+  copts.require_middlebox_attestation = true;
+  copts.expected_middlebox_measurement = sgx::measure("header-proxy-v1.2");
+  ClientSession client(std::move(copts));
+  ServerSession server(server_options(id));
+
+  auto mopts = middlebox_options("proxy.cloud.example", Middlebox::Side::kClientSide);
+  mopts.enclave = &enclave;
+  Middlebox mbox(std::move(mopts));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+
+  ASSERT_TRUE(client.established()) << client.error_message();
+  ASSERT_EQ(client.middleboxes().size(), 1u);
+  EXPECT_TRUE(client.middleboxes()[0].attested);
+  EXPECT_EQ(client.middleboxes()[0].measurement, sgx::measure("header-proxy-v1.2"));
+
+  client.send(to_bytes(std::string_view("secret payload")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_app_data()), "secret payload");
+
+  // P1A: the infrastructure provider cannot find any hop key in memory.
+  const auto view = mip_platform.adversary_memory_view();
+  bool any_plain_secret = false;
+  for (const auto& region : view) any_plain_secret |= !region.encrypted;
+  EXPECT_FALSE(any_plain_secret);
+}
+
+TEST(MbtlsSgx, WithoutEnclaveKeysAreExposedToInfrastructure) {
+  // The contrast case: same middlebox on untrusted hardware without SGX —
+  // the MIP can read hop keys straight out of RAM.
+  sgx::Platform mip_platform;
+  const auto id = make_identity("origin.example");
+  ClientSession client(client_options("origin.example"));
+  ServerSession server(server_options(id));
+  auto mopts = middlebox_options("naked-proxy.example", Middlebox::Side::kClientSide);
+  mopts.untrusted_store = &mip_platform.untrusted_memory();
+  Middlebox mbox(std::move(mopts));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established());
+
+  const auto key = mip_platform.untrusted_memory().get("naked-proxy.example/hop_toward_client_c2s");
+  ASSERT_TRUE(key.has_value());
+  EXPECT_FALSE(mip_platform.adversary_find_secret(*key).empty());
+}
+
+TEST(MbtlsSgx, AttestationRequiredButMissingFails) {
+  const auto id = make_identity("origin.example");
+  auto copts = client_options("origin.example");
+  copts.require_middlebox_attestation = true;
+  ClientSession client(std::move(copts));
+  ServerSession server(server_options(id));
+  Middlebox mbox(middlebox_options("no-enclave.example", Middlebox::Side::kClientSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  EXPECT_TRUE(client.failed());
+}
+
+TEST(MbtlsPolicy, ApprovalCallbackCanReject) {
+  const auto id = make_identity("origin.example");
+  auto copts = client_options("origin.example");
+  copts.approve = [](const MiddleboxDescriptor& desc) {
+    return desc.certificate_cn != "unwanted.example";
+  };
+  ClientSession client(std::move(copts));
+  ServerSession server(server_options(id));
+  Middlebox mbox(middlebox_options("unwanted.example", Middlebox::Side::kClientSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  EXPECT_TRUE(client.failed());
+  EXPECT_NE(client.error_message().find("rejected by policy"), std::string::npos);
+}
+
+TEST(MbtlsPolicy, UntrustedMiddleboxCertificateRejected) {
+  crypto::Drbg rogue_rng("rogue-mbox", 0);
+  const auto rogue_ca =
+      x509::CertificateAuthority::create("Rogue Mbox CA", x509::KeyType::kEcdsaP256, rogue_rng);
+  const auto id = make_identity("origin.example");
+  ClientSession client(client_options("origin.example"));
+  ServerSession server(server_options(id));
+
+  Middlebox::Options mopts;
+  mopts.name = "rogue.example";
+  mopts.side = Middlebox::Side::kClientSide;
+  mopts.private_key = std::make_shared<x509::PrivateKey>(
+      x509::PrivateKey::generate(x509::KeyType::kEcdsaP256, rogue_rng));
+  x509::CertRequest req;
+  req.subject_cn = "rogue.example";
+  req.not_after = 2524607999;
+  req.key = mopts.private_key->public_key();
+  mopts.certificate_chain = {rogue_ca.issue(req, rogue_rng)};
+  Middlebox mbox(std::move(mopts));
+
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  EXPECT_TRUE(client.failed());
+}
+
+TEST(Mbtls, LargeTransferThroughMiddleboxes) {
+  const auto id = make_identity("origin.example");
+  ClientSession client(client_options("origin.example"));
+  ServerSession server(server_options(id));
+  Middlebox c0(middlebox_options("c0.example", Middlebox::Side::kClientSide));
+  Middlebox s0(middlebox_options("s0.example", Middlebox::Side::kServerSide));
+  Chain chain{.client = &client, .middleboxes = {&c0, &s0}, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established());
+
+  crypto::Drbg rng("mb-large", 0);
+  const Bytes blob = rng.bytes(200'000);
+  client.send(blob);
+  chain.pump();
+  EXPECT_EQ(server.take_app_data(), blob);
+  const Bytes blob2 = rng.bytes(150'000);
+  server.send(blob2);
+  chain.pump();
+  EXPECT_EQ(client.take_app_data(), blob2);
+}
+
+TEST(Mbtls, CloseNotifyPropagates) {
+  const auto id = make_identity("origin.example");
+  ClientSession client(client_options("origin.example"));
+  ServerSession server(server_options(id));
+  Middlebox mbox(middlebox_options("mid.example", Middlebox::Side::kClientSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established());
+  client.close();
+  chain.pump();
+  EXPECT_EQ(server.status(), SessionStatus::kClosed);
+}
+
+}  // namespace
+}  // namespace mbtls::mb

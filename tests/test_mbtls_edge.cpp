@@ -1,0 +1,255 @@
+// mbTLS edge cases: wire-format codecs, False-Start-style buffering, record
+// injection, malformed input robustness, and a parameterized sweep over
+// middlebox-chain shapes.
+#include <gtest/gtest.h>
+
+#include "tests/mbtls_test_util.h"
+
+namespace mbtls::mb {
+namespace {
+
+using namespace testing;
+
+// ----------------------------------------------------------------- codecs
+
+TEST(MbtlsCodec, KeyMaterialRoundTrip) {
+  crypto::Drbg rng("km-codec", 0);
+  tls::KeyMaterialMsg msg;
+  msg.cipher_suite = static_cast<std::uint16_t>(tls::CipherSuite::kEcdheRsaAes256GcmSha384);
+  msg.toward_client = generate_hop_keys(32, rng);
+  msg.toward_server = generate_hop_keys(32, rng);
+  msg.toward_server.client_to_server_seq = 7;
+  msg.toward_server.server_to_client_seq = 9;
+  const Bytes wire = msg.encode();
+  const auto back = tls::KeyMaterialMsg::parse(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->cipher_suite, msg.cipher_suite);
+  EXPECT_EQ(back->toward_client.client_to_server_key, msg.toward_client.client_to_server_key);
+  EXPECT_EQ(back->toward_server.client_to_server_seq, 7u);
+  EXPECT_EQ(back->toward_server.server_to_client_seq, 9u);
+
+  // Truncations never parse.
+  for (std::size_t cut = 0; cut < wire.size(); cut += 5) {
+    EXPECT_FALSE(tls::KeyMaterialMsg::parse(ByteView(wire).first(cut)).has_value());
+  }
+}
+
+TEST(MbtlsCodec, EncapsulatedRoundTrip) {
+  tls::EncapsulatedRecord enc;
+  enc.subchannel = 42;
+  enc.inner_record = tls::frame_plaintext_record(tls::ContentType::kHandshake, Bytes(10, 1));
+  const Bytes wire = enc.encode();
+  const auto back = tls::EncapsulatedRecord::parse(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->subchannel, 42);
+  EXPECT_EQ(back->inner_record, enc.inner_record);
+  EXPECT_FALSE(tls::EncapsulatedRecord::parse(Bytes(3, 0)).has_value());
+}
+
+TEST(MbtlsCodec, MiddleboxSupportExtensionRoundTrip) {
+  tls::MiddleboxSupportExtension ext;
+  ext.known_middleboxes = {"proxy.a.example", "cache.b.example"};
+  ext.optimistic_hellos = {Bytes(20, 0xaa)};
+  const Bytes wire = ext.encode();
+  const auto back = tls::MiddleboxSupportExtension::parse(wire);
+  EXPECT_EQ(back.known_middleboxes, ext.known_middleboxes);
+  ASSERT_EQ(back.optimistic_hellos.size(), 1u);
+  EXPECT_EQ(back.optimistic_hellos[0], ext.optimistic_hellos[0]);
+  EXPECT_THROW(tls::MiddleboxSupportExtension::parse(Bytes{2}), DecodeError);
+}
+
+// --------------------------------------------------- chain-shape sweep
+
+struct ChainShape {
+  int client_side;
+  int server_side;
+};
+
+class MbtlsChainSweep : public ::testing::TestWithParam<ChainShape> {};
+
+TEST_P(MbtlsChainSweep, HandshakeAndBidirectionalData) {
+  const auto [n_client, n_server] = GetParam();
+  const auto id = make_identity("sweep.example");
+  ClientSession client(client_options("sweep.example"));
+  ServerSession server(server_options(id));
+  std::vector<std::unique_ptr<Middlebox>> boxes;
+  Chain chain{.client = &client, .server = &server};
+  for (int i = 0; i < n_client + n_server; ++i) {
+    auto opts = middlebox_options("m" + std::to_string(i) + ".example",
+                                  i < n_client ? Middlebox::Side::kClientSide
+                                               : Middlebox::Side::kServerSide);
+    boxes.push_back(std::make_unique<Middlebox>(std::move(opts)));
+    chain.middleboxes.push_back(boxes.back().get());
+  }
+  client.start();
+  chain.pump(400);
+  ASSERT_TRUE(client.established()) << client.error_message();
+  ASSERT_TRUE(server.established()) << server.error_message();
+  EXPECT_EQ(client.middleboxes().size(), static_cast<std::size_t>(n_client));
+  EXPECT_EQ(server.middleboxes().size(), static_cast<std::size_t>(n_server));
+  for (const auto& box : boxes) EXPECT_TRUE(box->joined());
+
+  crypto::Drbg rng("sweep-data", static_cast<std::uint64_t>(n_client * 10 + n_server));
+  const Bytes up = rng.bytes(5000);
+  const Bytes down = rng.bytes(7000);
+  client.send(up);
+  chain.pump(400);
+  EXPECT_EQ(server.take_app_data(), up);
+  server.send(down);
+  chain.pump(400);
+  EXPECT_EQ(client.take_app_data(), down);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MbtlsChainSweep,
+                         ::testing::Values(ChainShape{0, 0}, ChainShape{1, 0}, ChainShape{0, 1},
+                                           ChainShape{2, 0}, ChainShape{0, 2}, ChainShape{3, 0},
+                                           ChainShape{2, 2}, ChainShape{4, 0}, ChainShape{1, 3}),
+                         [](const auto& info) {
+                           return "c" + std::to_string(info.param.client_side) + "_s" +
+                                  std::to_string(info.param.server_side);
+                         });
+
+// ----------------------------------------------------- False-Start buffer
+
+TEST(MbtlsEdge, ServerDataBeforeKeyMaterialIsBuffered) {
+  // §3.5: data can reach a middlebox before the endpoint's key material
+  // (the server finishes first and may speak immediately). The middlebox
+  // must buffer, not drop.
+  const auto id = make_identity("faststart.example");
+  ClientSession client(client_options("faststart.example"));
+  ServerSession server(server_options(id));
+  Middlebox mbox(middlebox_options("buffering.example", Middlebox::Side::kClientSide));
+
+  client.start();
+  // Pump manually so we can inject server data the moment it establishes,
+  // *before* the client's KeyMaterial can reach the middlebox.
+  bool injected = false;
+  for (int i = 0; i < 200; ++i) {
+    bool moved = false;
+    Bytes a = client.take_output();
+    if (!a.empty()) {
+      moved = true;
+      mbox.feed_from_client(a);
+    }
+    Bytes b = mbox.take_to_server();
+    if (!b.empty()) {
+      moved = true;
+      server.feed(b);
+    }
+    if (server.established() && !injected) {
+      injected = true;
+      server.send(to_bytes(std::string_view("server speaks first")));
+    }
+    Bytes c = server.take_output();
+    if (!c.empty()) {
+      moved = true;
+      mbox.feed_from_server(c);
+    }
+    Bytes d = mbox.take_to_client();
+    if (!d.empty()) {
+      moved = true;
+      client.feed(d);
+    }
+    if (!moved) break;
+  }
+  ASSERT_TRUE(injected);
+  ASSERT_TRUE(client.established()) << client.error_message();
+  EXPECT_EQ(to_string(client.take_app_data()), "server speaks first");
+  EXPECT_TRUE(mbox.joined());
+}
+
+// -------------------------------------------------------------- injection
+
+TEST(MbtlsEdge, ForgedRecordAtMiddleboxIsDiscarded) {
+  const auto id = make_identity("forge.example");
+  ClientSession client(client_options("forge.example"));
+  ServerSession server(server_options(id));
+  Middlebox mbox(middlebox_options("strict.example", Middlebox::Side::kClientSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established());
+
+  // An attacker without hop keys injects a fake application-data record
+  // toward the middlebox.
+  crypto::Drbg rng("forge", 0);
+  Bytes fake_body = rng.bytes(64);
+  const Bytes forged =
+      tls::frame_plaintext_record(tls::ContentType::kApplicationData, fake_body);
+  mbox.feed_from_client(forged);
+  EXPECT_EQ(mbox.auth_failures(), 1u);
+  // Nothing reached the server, and the session still works.
+  EXPECT_TRUE(mbox.take_to_server().empty());
+  client.send(to_bytes(std::string_view("still alive")));
+  chain.pump();
+  EXPECT_EQ(to_string(server.take_app_data()), "still alive");
+}
+
+// ----------------------------------------------------------- fuzz-adjacent
+
+TEST(MbtlsEdge, RandomGarbageDoesNotCrashEndpoints) {
+  crypto::Drbg rng("garbage", 0);
+  for (int trial = 0; trial < 30; ++trial) {
+    ClientSession client(client_options("g.example", static_cast<std::uint64_t>(trial)));
+    client.start();
+    (void)client.take_output();
+    Bytes junk = rng.bytes(rng.uniform(300) + 5);
+    junk[0] = static_cast<std::uint8_t>(20 + rng.uniform(15));  // plausible types
+    client.feed(junk);  // must not crash; may fail the session
+    const auto id = make_identity("g.example");
+    ServerSession server(server_options(id, static_cast<std::uint64_t>(trial)));
+    server.feed(junk);
+  }
+  SUCCEED();
+}
+
+TEST(MbtlsEdge, MutatedHandshakeBytesFailCleanly) {
+  // Flip a byte at every position of the client's first flight and feed the
+  // result to a fresh server; nothing may crash, and data never flows.
+  const auto id = make_identity("mutate.example");
+  ClientSession reference(client_options("mutate.example"));
+  reference.start();
+  const Bytes hello = reference.take_output();
+  for (std::size_t at = 0; at < hello.size(); at += 3) {
+    Bytes mutated = hello;
+    mutated[at] ^= 0x41;
+    ServerSession server(server_options(id, at));
+    server.feed(mutated);
+    EXPECT_FALSE(server.established());
+  }
+}
+
+TEST(MbtlsEdge, MiddleboxSurvivesMutatedStream) {
+  const auto id = make_identity("mstream.example");
+  crypto::Drbg rng("mstream", 0);
+  for (int trial = 0; trial < 20; ++trial) {
+    ClientSession client(client_options("mstream.example", static_cast<std::uint64_t>(trial)));
+    ServerSession server(server_options(id, static_cast<std::uint64_t>(trial) + 1));
+    Middlebox mbox(middlebox_options("m.example", Middlebox::Side::kClientSide));
+    client.start();
+    Bytes flight = client.take_output();
+    if (!flight.empty()) {
+      flight[rng.uniform(flight.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    }
+    mbox.feed_from_client(flight);  // must not crash
+    (void)mbox.take_to_server();
+  }
+  SUCCEED();
+}
+
+TEST(MbtlsEdge, SendBeforeEstablishedThrows) {
+  ClientSession client(client_options("early.example"));
+  EXPECT_THROW(client.send(Bytes{1, 2, 3}), std::logic_error);
+  const auto id = make_identity("early.example");
+  ServerSession server(server_options(id));
+  EXPECT_THROW(server.send(Bytes{1}), std::logic_error);
+}
+
+TEST(MbtlsEdge, HopDuplexRejectsMismatchedKeyLength) {
+  crypto::Drbg rng("hoplen", 0);
+  const auto keys = generate_hop_keys(16, rng);
+  EXPECT_THROW(HopDuplex(keys, 32), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mbtls::mb

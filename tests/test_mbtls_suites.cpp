@@ -1,0 +1,155 @@
+// mbTLS across every supported cipher suite (hop keys, key-material sizes,
+// and DHE's larger flights all vary by suite), plus configuration corners:
+// pre-declared middleboxes, attestation of the *origin server*, and secrets
+// landing in stores on the server side.
+#include <gtest/gtest.h>
+
+#include "tests/mbtls_test_util.h"
+
+namespace mbtls::mb {
+namespace {
+
+using namespace testing;
+
+class MbtlsSuiteSweep : public ::testing::TestWithParam<tls::CipherSuite> {};
+
+TEST_P(MbtlsSuiteSweep, FullSessionThroughTwoMiddleboxes) {
+  const tls::CipherSuite suite = GetParam();
+  const auto info = tls::suite_info(suite);
+  const auto key_type = info->auth == tls::AuthAlgo::kRsa ? x509::KeyType::kRsa
+                                                          : x509::KeyType::kEcdsaP256;
+  const auto server_id = make_identity("suites.example", key_type);
+  const auto mbox_id = make_identity("suite-mbox.example", key_type);
+
+  auto copts = client_options("suites.example");
+  copts.tls.cipher_suites = {suite};
+  ClientSession client(std::move(copts));
+  auto sopts = server_options(server_id);
+  sopts.tls.cipher_suites = {suite};
+  ServerSession server(std::move(sopts));
+
+  auto make_box = [&](const char* name, Middlebox::Side side) {
+    Middlebox::Options mopts;
+    mopts.name = name;
+    mopts.side = side;
+    mopts.cipher_suites = {suite};
+    mopts.private_key = mbox_id.key;
+    mopts.certificate_chain = mbox_id.chain;
+    return Middlebox(std::move(mopts));
+  };
+  Middlebox c0 = make_box("c0.example", Middlebox::Side::kClientSide);
+  Middlebox s0 = make_box("s0.example", Middlebox::Side::kServerSide);
+  Chain chain{.client = &client, .middleboxes = {&c0, &s0}, .server = &server};
+  client.start();
+  chain.pump(400);
+  ASSERT_TRUE(client.established()) << tls::suite_name(suite) << ": " << client.error_message();
+  ASSERT_TRUE(server.established()) << server.error_message();
+  EXPECT_EQ(client.primary().suite().id, suite);
+  EXPECT_TRUE(c0.joined());
+  EXPECT_TRUE(s0.joined());
+
+  crypto::Drbg rng("suite-data", static_cast<std::uint64_t>(suite));
+  const Bytes blob = rng.bytes(20'000);
+  client.send(blob);
+  chain.pump(400);
+  EXPECT_EQ(server.take_app_data(), blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuites, MbtlsSuiteSweep,
+    ::testing::Values(tls::CipherSuite::kEcdheEcdsaAes256GcmSha384,
+                      tls::CipherSuite::kEcdheEcdsaAes128GcmSha256,
+                      tls::CipherSuite::kEcdheRsaAes256GcmSha384,
+                      tls::CipherSuite::kEcdheRsaAes128GcmSha256,
+                      tls::CipherSuite::kDheRsaAes256GcmSha384,
+                      tls::CipherSuite::kDheRsaAes128GcmSha256),
+    [](const auto& info) {
+      std::string name = tls::suite_name(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(MbtlsConfig, PreDeclaredMiddleboxNamesTravelInExtension) {
+  // A client that knows its middleboxes a priori lists them in the
+  // MiddleboxSupport extension (§3.4, pre-configured discovery).
+  const auto id = make_identity("declared.example");
+  auto copts = client_options("declared.example");
+  copts.known_middleboxes = {"proxy-a.example", "proxy-b.example"};
+  ClientSession client(std::move(copts));
+  client.start();
+  const Bytes flight = client.take_output();
+
+  // The server-side parse of the primary ClientHello must expose the list.
+  tls::RecordReader reader;
+  reader.feed(flight);
+  const auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  tls::HandshakeReassembler reasm;
+  reasm.feed(rec->payload);
+  const auto msg = reasm.next();
+  ASSERT_TRUE(msg.has_value());
+  const auto hello = tls::ClientHello::parse(msg->body);
+  const auto* ext = hello.find_extension(tls::kExtMiddleboxSupport);
+  ASSERT_NE(ext, nullptr);
+  const auto support = tls::MiddleboxSupportExtension::parse(ext->data);
+  EXPECT_EQ(support.known_middleboxes,
+            (std::vector<std::string>{"proxy-a.example", "proxy-b.example"}));
+}
+
+TEST(MbtlsConfig, ServerEndpointCanRequireMiddleboxAttestation) {
+  // The paper's third trust scenario: the *service provider* expects its own
+  // (outsourced) middlebox and verifies it with certificate + attestation.
+  sgx::Platform platform;
+  sgx::Enclave& enclave = platform.launch("cdn-node-v3");
+  const auto id = make_identity("sp.example");
+
+  ClientSession client(client_options("sp.example"));  // plain mbTLS client
+  auto sopts = server_options(id);
+  sopts.require_middlebox_attestation = true;
+  sopts.expected_middlebox_measurement = sgx::measure("cdn-node-v3");
+  ServerSession server(std::move(sopts));
+
+  auto mopts = middlebox_options("cdn.sp.example", Middlebox::Side::kServerSide);
+  mopts.enclave = &enclave;
+  Middlebox mbox(std::move(mopts));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(server.established()) << server.error_message();
+  ASSERT_EQ(server.middleboxes().size(), 1u);
+  EXPECT_TRUE(server.middleboxes()[0].attested);
+
+  // And the mirror case: wrong code fails the server's policy.
+  sgx::Enclave& evil = platform.launch("cdn-node-TAMPERED");
+  ClientSession client2(client_options("sp.example", 5));
+  auto sopts2 = server_options(id, 6);
+  sopts2.require_middlebox_attestation = true;
+  sopts2.expected_middlebox_measurement = sgx::measure("cdn-node-v3");
+  ServerSession server2(std::move(sopts2));
+  auto mopts2 = middlebox_options("cdn.sp.example", Middlebox::Side::kServerSide);
+  mopts2.enclave = &evil;
+  Middlebox mbox2(std::move(mopts2));
+  Chain chain2{.client = &client2, .middleboxes = {&mbox2}, .server = &server2};
+  client2.start();
+  chain2.pump();
+  EXPECT_TRUE(server2.failed());
+}
+
+TEST(MbtlsConfig, AnnouncementsVisibleToServerEvenWhenRejectedLater) {
+  const auto id = make_identity("count.example");
+  ClientSession client(client_options("count.example"));
+  auto sopts = server_options(id);
+  sopts.approve = [](const MiddleboxDescriptor&) { return false; };  // veto everything
+  ServerSession server(std::move(sopts));
+  Middlebox mbox(middlebox_options("vetoed.example", Middlebox::Side::kServerSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  EXPECT_EQ(server.announcements_seen(), 1u);
+  EXPECT_TRUE(server.failed());
+  EXPECT_NE(server.error_message().find("rejected by policy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbtls::mb

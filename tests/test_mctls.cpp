@@ -1,0 +1,168 @@
+// mcTLS baseline: layered-key access control, the read-only enforcement
+// mbTLS trades away, and the deployability costs the paper's §2.2 design
+// space attributes to it.
+#include <gtest/gtest.h>
+
+#include "baselines/mctls.h"
+#include "tests/tls_test_util.h"
+
+namespace mbtls::baselines {
+namespace {
+
+using tls::testing::shared_rng;
+using tls::testing::test_ca;
+
+McContextKeys test_context() {
+  crypto::Drbg rng("mctls-keys", 0);
+  const Bytes cs = rng.bytes(32), ss = rng.bytes(32);
+  return derive_context_keys(cs, ss);
+}
+
+TEST(McTls, BothSharesRequiredForKeys) {
+  crypto::Drbg rng("mctls-shares", 0);
+  const Bytes cs = rng.bytes(32), ss = rng.bytes(32);
+  const auto full = derive_context_keys(cs, ss);
+  // Either share alone (other zeroed) yields entirely different keys —
+  // a middlebox keyed by only one endpoint has nothing.
+  const auto client_only = derive_context_keys(cs, Bytes(32, 0));
+  const auto server_only = derive_context_keys(Bytes(32, 0), ss);
+  EXPECT_NE(full.reader_key, client_only.reader_key);
+  EXPECT_NE(full.reader_key, server_only.reader_key);
+  EXPECT_NE(full.writer_mac, client_only.writer_mac);
+}
+
+TEST(McTls, KeySubsetsFollowPermissions) {
+  const auto ctx = test_context();
+  const auto none = keys_for(ctx, McPermission::kNone, false);
+  EXPECT_TRUE(none.reader_key.empty());
+  const auto ro = keys_for(ctx, McPermission::kRead, false);
+  EXPECT_FALSE(ro.reader_key.empty());
+  EXPECT_TRUE(ro.writer_mac.empty());
+  EXPECT_TRUE(ro.endpoint_mac.empty());
+  const auto rw = keys_for(ctx, McPermission::kReadWrite, false);
+  EXPECT_FALSE(rw.writer_mac.empty());
+  EXPECT_TRUE(rw.endpoint_mac.empty());
+  const auto endpoint = keys_for(ctx, McPermission::kNone, true);
+  EXPECT_FALSE(endpoint.endpoint_mac.empty());
+}
+
+TEST(McTls, UntouchedRecordVerifiesAsUntouched) {
+  const auto ctx = test_context();
+  McRecordLayer sender(keys_for(ctx, McPermission::kNone, true));
+  McRecordLayer receiver(keys_for(ctx, McPermission::kNone, true));
+  const Bytes record = sender.seal(to_bytes(std::string_view("pristine")));
+  const auto opened = receiver.open(record);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->verdict, McVerdict::kUntouched);
+  EXPECT_EQ(to_string(opened->payload), "pristine");
+}
+
+TEST(McTls, WriterModificationIsVisibleButLegal) {
+  const auto ctx = test_context();
+  McRecordLayer sender(keys_for(ctx, McPermission::kNone, true));
+  McMiddlebox writer(keys_for(ctx, McPermission::kReadWrite, false), [](ByteView d) {
+    Bytes out = to_bytes(d);
+    append(out, to_bytes(std::string_view(" [compressed]")));
+    return out;
+  });
+  McRecordLayer receiver(keys_for(ctx, McPermission::kNone, true));
+
+  const Bytes record = sender.seal(to_bytes(std::string_view("data")));
+  const Bytes forwarded = writer.process(record);
+  const auto opened = receiver.open(forwarded);
+  ASSERT_TRUE(opened.has_value());
+  // The endpoint knows a writer changed it — the mcTLS signal mbTLS lacks.
+  EXPECT_EQ(opened->verdict, McVerdict::kModifiedByWriter);
+  EXPECT_EQ(to_string(opened->payload), "data [compressed]");
+}
+
+TEST(McTls, ReaderCanReadButNotWrite) {
+  const auto ctx = test_context();
+  McRecordLayer sender(keys_for(ctx, McPermission::kNone, true));
+  McMiddlebox reader(keys_for(ctx, McPermission::kRead, false), {});
+  McRecordLayer receiver(keys_for(ctx, McPermission::kNone, true));
+
+  const Bytes record = sender.seal(to_bytes(std::string_view("observe me")));
+  const Bytes forwarded = reader.process(record);
+  EXPECT_EQ(to_string(reader.last_seen()), "observe me");  // read access works
+  const auto opened = receiver.open(forwarded);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->verdict, McVerdict::kUntouched);  // and nothing changed
+}
+
+TEST(McTls, MaliciousReaderModificationDetected) {
+  // A read-only middlebox decrypts, alters the payload, re-encrypts with
+  // the reader key (which it has), and fakes the MACs as best it can. The
+  // endpoint's writer-MAC check must flag it.
+  const auto ctx = test_context();
+  McRecordLayer sender(keys_for(ctx, McPermission::kNone, true));
+  McRecordLayer receiver(keys_for(ctx, McPermission::kNone, true));
+  const Bytes record = sender.seal(to_bytes(std::string_view("important: pay $10")));
+
+  // The malicious reader's forgery: decrypt with reader key, change bytes,
+  // re-seal with garbage MACs (it holds neither MAC key).
+  crypto::AesGcm reader_aead(ctx.reader_key);
+  Bytes iv(4, 0);
+  put_u64(iv, 0);
+  auto inner = reader_aead.open(iv, {}, record);
+  ASSERT_TRUE(inner.has_value());
+  Bytes forged_payload = to_bytes(std::string_view("important: pay $9999"));
+  Bytes forged_inner = forged_payload;
+  crypto::Drbg rng("forged-macs", 0);
+  append(forged_inner, rng.bytes(64));  // fake writer + endpoint MACs
+  const Bytes forged = reader_aead.seal(iv, {}, forged_inner);
+
+  const auto opened = receiver.open(forged);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->verdict, McVerdict::kIllegallyModified);
+}
+
+TEST(McTls, ThirdPartyTamperingFailsOuterLayer) {
+  const auto ctx = test_context();
+  McRecordLayer sender(keys_for(ctx, McPermission::kNone, true));
+  McRecordLayer receiver(keys_for(ctx, McPermission::kNone, true));
+  Bytes record = sender.seal(to_bytes(std::string_view("x")));
+  record[record.size() / 2] ^= 1;
+  EXPECT_FALSE(receiver.open(record).has_value());
+}
+
+TEST(McTls, NoReadPermissionSeesNothing) {
+  const auto ctx = test_context();
+  McRecordLayer sender(keys_for(ctx, McPermission::kNone, true));
+  McMiddlebox blind(keys_for(ctx, McPermission::kNone, false), {});
+  const Bytes record = sender.seal(to_bytes(std::string_view("opaque")));
+  const Bytes forwarded = blind.process(record);
+  EXPECT_EQ(forwarded, record);        // passes through unchanged
+  EXPECT_TRUE(blind.last_seen().empty());  // and unread
+}
+
+TEST(McTls, SealWithoutWritePermissionThrows) {
+  const auto ctx = test_context();
+  McRecordLayer reader(keys_for(ctx, McPermission::kRead, false));
+  EXPECT_THROW(reader.seal(Bytes{1}), std::logic_error);
+}
+
+TEST(McTls, SetupDeliversSharesOverRealTls) {
+  crypto::Drbg rng("mctls-setup", 0);
+  const auto setup = mctls_setup({McPermission::kRead, McPermission::kReadWrite}, test_ca(), rng);
+  ASSERT_EQ(setup.middleboxes.size(), 2u);
+  // The derived keys at the middleboxes match the endpoints' context keys.
+  EXPECT_EQ(setup.middleboxes[0].reader_key, setup.context.reader_key);
+  EXPECT_TRUE(setup.middleboxes[0].writer_mac.empty());
+  EXPECT_EQ(setup.middleboxes[1].writer_mac, setup.context.writer_mac);
+  // End-to-end: endpoint -> RO box -> RW box -> endpoint.
+  McRecordLayer client(keys_for(setup.context, McPermission::kNone, true));
+  McMiddlebox ro(setup.middleboxes[0], {});
+  McMiddlebox rw(setup.middleboxes[1],
+                 [](ByteView d) { return concat({d, to_bytes(std::string_view("!"))}); });
+  McRecordLayer server(keys_for(setup.context, McPermission::kNone, true));
+  const Bytes rec = client.seal(to_bytes(std::string_view("hi")));
+  const auto final_rec = rw.process(ro.process(rec));
+  const auto opened = server.open(final_rec);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(opened->payload), "hi!");
+  EXPECT_EQ(opened->verdict, McVerdict::kModifiedByWriter);
+}
+
+}  // namespace
+}  // namespace mbtls::baselines

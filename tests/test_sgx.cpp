@@ -1,0 +1,157 @@
+// SGX simulation: measurement, memory isolation (the adversary view),
+// attestation quotes, sealing, and transition accounting.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "sgx/attestation.h"
+#include "sgx/enclave.h"
+#include "util/hex.h"
+
+namespace mbtls::sgx {
+namespace {
+
+TEST(Sgx, MeasurementDependsOnCodeAndConfig) {
+  const Bytes m1 = measure("mbox-proxy-v1");
+  const Bytes m2 = measure("mbox-proxy-v2");
+  const Bytes m3 = measure("mbox-proxy-v1", to_bytes(std::string_view("strict")));
+  EXPECT_NE(m1, m2);
+  EXPECT_NE(m1, m3);
+  EXPECT_EQ(m1, measure("mbox-proxy-v1"));
+  EXPECT_EQ(m1.size(), 32u);
+}
+
+TEST(Sgx, UntrustedMemoryIsVisibleToAdversary) {
+  Platform platform;
+  const Bytes secret = to_bytes(std::string_view("super-secret-session-key"));
+  platform.untrusted_memory().put("tls/session_key", secret);
+  const auto hits = platform.adversary_find_secret(secret);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], "tls/session_key");
+}
+
+TEST(Sgx, EnclaveMemoryIsOpaqueToAdversary) {
+  Platform platform;
+  Enclave& enclave = platform.launch("mbox-proxy-v1");
+  const Bytes secret = to_bytes(std::string_view("super-secret-session-key"));
+  enclave.memory().put("session_key", secret);
+
+  // The region exists in the adversary view but only as ciphertext.
+  const auto view = platform.adversary_memory_view();
+  bool found_region = false;
+  for (const auto& region : view) {
+    if (region.name == "mbox-proxy-v1/session_key") {
+      found_region = true;
+      EXPECT_TRUE(region.encrypted);
+      EXPECT_NE(region.contents, secret);
+    }
+  }
+  EXPECT_TRUE(found_region);
+  EXPECT_TRUE(platform.adversary_find_secret(secret).empty());
+
+  // Code "inside" the enclave still reads it fine.
+  EXPECT_EQ(enclave.memory().get("session_key"), secret);
+}
+
+TEST(Sgx, QuoteVerifies) {
+  Platform platform;
+  Enclave& enclave = platform.launch("mbox-proxy-v1");
+  const Bytes handshake_hash = to_bytes(std::string_view("transcript-hash-xyz"));
+  const auto quote = enclave.quote(handshake_hash);
+  EXPECT_EQ(quote.measurement, measure("mbox-proxy-v1"));
+  EXPECT_EQ(quote.report_data.size(), 64u);
+  EXPECT_TRUE(verify_quote(quote.measurement, quote.report_data, quote.signature));
+}
+
+TEST(Sgx, QuoteRejectsTampering) {
+  Platform platform;
+  Enclave& enclave = platform.launch("mbox-proxy-v1");
+  auto quote = enclave.quote(to_bytes(std::string_view("rd")));
+  // Tampered measurement (pretend different code was measured).
+  Bytes bad_measurement = quote.measurement;
+  bad_measurement[0] ^= 1;
+  EXPECT_FALSE(verify_quote(bad_measurement, quote.report_data, quote.signature));
+  // Tampered report data (replay against a different handshake).
+  Bytes bad_rd = quote.report_data;
+  bad_rd[0] ^= 1;
+  EXPECT_FALSE(verify_quote(quote.measurement, bad_rd, quote.signature));
+}
+
+TEST(Sgx, QuoteCodecRoundTrip) {
+  Platform platform;
+  Enclave& enclave = platform.launch("codec-test");
+  const auto quote = enclave.quote(to_bytes(std::string_view("data")));
+  const Bytes wire = quote.encode();
+  const auto decoded = Enclave::QuoteData::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->measurement, quote.measurement);
+  EXPECT_EQ(decoded->report_data, quote.report_data);
+  EXPECT_EQ(decoded->signature, quote.signature);
+  EXPECT_FALSE(Enclave::QuoteData::decode(ByteView(wire).first(wire.size() - 1)).has_value());
+  EXPECT_FALSE(Enclave::QuoteData::decode(Bytes(3, 0)).has_value());
+}
+
+TEST(Sgx, SealUnsealRoundTrip) {
+  Platform platform;
+  Enclave& enclave = platform.launch("sealer");
+  const Bytes data = to_bytes(std::string_view("ticket key material"));
+  const Bytes sealed = enclave.seal(data);
+  EXPECT_EQ(enclave.unseal(sealed), data);
+  // Distinct seals of the same data differ (IV counter).
+  EXPECT_NE(enclave.seal(data), sealed);
+}
+
+TEST(Sgx, SealedDataBoundToMeasurementAndPlatform) {
+  Platform platform;
+  Enclave& enclave_a = platform.launch("code-a");
+  Enclave& enclave_b = platform.launch("code-b");
+  const Bytes sealed = enclave_a.seal(to_bytes(std::string_view("secret")));
+  EXPECT_FALSE(enclave_b.unseal(sealed).has_value());  // different code
+
+  Platform other_platform(42);
+  Enclave& same_code_elsewhere = other_platform.launch("code-a");
+  EXPECT_FALSE(same_code_elsewhere.unseal(sealed).has_value());  // different CPU
+}
+
+TEST(Sgx, SealDetectsTampering) {
+  Platform platform;
+  Enclave& enclave = platform.launch("sealer");
+  Bytes sealed = enclave.seal(to_bytes(std::string_view("payload")));
+  sealed[sealed.size() / 2] ^= 1;
+  EXPECT_FALSE(enclave.unseal(sealed).has_value());
+}
+
+TEST(Sgx, EcallCountsTransitions) {
+  Platform platform;
+  platform.set_transition_cost(10);  // keep the test fast
+  Enclave& enclave = platform.launch("worker");
+  const int result = enclave.ecall([] { return 7; });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(enclave.transitions(), 2u);  // enter + leave
+  enclave.ecall([] {});
+  EXPECT_EQ(enclave.transitions(), 4u);
+  EXPECT_EQ(platform.total_transitions(), 4u);
+}
+
+TEST(Sgx, TransitionCostBurnsTime) {
+  Platform cheap(1), expensive(1);
+  cheap.set_transition_cost(0);
+  expensive.set_transition_cost(2'000'000);
+  Enclave& fast = cheap.launch("w");
+  Enclave& slow = expensive.launch("w");
+  const auto time_of = [](Enclave& e) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 10; ++i) e.ecall([] {});
+    return std::chrono::steady_clock::now() - start;
+  };
+  EXPECT_LT(time_of(fast), time_of(slow));
+}
+
+TEST(Sgx, AttestationKeyIsStable) {
+  const auto& k1 = attestation_service_public_key();
+  const auto& k2 = attestation_service_public_key();
+  EXPECT_EQ(k1.x, k2.x);
+}
+
+}  // namespace
+}  // namespace mbtls::sgx

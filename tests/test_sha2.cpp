@@ -1,0 +1,113 @@
+// SHA-2 known-answer tests (FIPS 180-4 / NIST CAVP examples) plus streaming
+// and boundary-condition properties.
+#include <gtest/gtest.h>
+
+#include "crypto/sha2.h"
+#include "util/hex.h"
+
+namespace mbtls::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_encode(Sha256::digest({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_encode(Sha256::digest(to_bytes(std::string_view("abc")))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const auto msg = to_bytes(std::string_view("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  EXPECT_EQ(hex_encode(Sha256::digest(msg)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_encode(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  // Split the same message at every boundary; digests must agree.
+  const auto msg = to_bytes(std::string_view(
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross block boundaries."));
+  const Bytes expected = Sha256::digest(msg);
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(ByteView(msg).first(split));
+    h.update(ByteView(msg).subspan(split));
+    EXPECT_EQ(h.finish(), expected) << "split at " << split;
+  }
+}
+
+// Padding edge cases: lengths around the 55/56/64-byte boundaries exercise
+// the one-block vs two-block padding paths.
+class Sha256PaddingBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256PaddingBoundary, StreamingMatchesOneShot) {
+  const std::size_t len = GetParam();
+  const Bytes msg(len, 0x5a);
+  const Bytes expected = Sha256::digest(msg);
+  Sha256 h;
+  for (std::size_t i = 0; i < len; ++i) h.update(ByteView(&msg[i], 1));
+  EXPECT_EQ(h.finish(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Sha256PaddingBoundary,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65, 119, 127, 128, 129));
+
+TEST(Sha384, Abc) {
+  EXPECT_EQ(hex_encode(Sha384::digest(to_bytes(std::string_view("abc")))),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+            "8086072ba1e7cc2358baeca134c825a7");
+}
+
+TEST(Sha384, Empty) {
+  EXPECT_EQ(hex_encode(Sha384::digest({})),
+            "38b060a751ac96384cd9327eb1b1e36a21fdb71114be07434c0cc7bf63f6e1da"
+            "274edebfe76f65fbd51ad2f14898b95b");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(hex_encode(Sha512::digest(to_bytes(std::string_view("abc")))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, Empty) {
+  EXPECT_EQ(hex_encode(Sha512::digest({})),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha384, PaddingBoundaries) {
+  // 111/112/113 bytes exercise SHA-512-family padding paths.
+  for (std::size_t len : {111u, 112u, 113u, 127u, 128u, 129u}) {
+    const Bytes msg(len, 0xa5);
+    const Bytes expected = Sha384::digest(msg);
+    Sha384 h;
+    h.update(ByteView(msg).first(len / 2));
+    h.update(ByteView(msg).subspan(len / 2));
+    EXPECT_EQ(h.finish(), expected) << "len " << len;
+  }
+}
+
+TEST(HashDispatch, SizesAndEquivalence) {
+  EXPECT_EQ(digest_size(HashAlgo::kSha256), 32u);
+  EXPECT_EQ(digest_size(HashAlgo::kSha384), 48u);
+  EXPECT_EQ(digest_size(HashAlgo::kSha512), 64u);
+  EXPECT_EQ(block_size(HashAlgo::kSha256), 64u);
+  EXPECT_EQ(block_size(HashAlgo::kSha384), 128u);
+  const auto msg = to_bytes(std::string_view("abc"));
+  EXPECT_EQ(hash(HashAlgo::kSha256, msg), Sha256::digest(msg));
+  EXPECT_EQ(hash(HashAlgo::kSha384, msg), Sha384::digest(msg));
+  EXPECT_EQ(hash(HashAlgo::kSha512, msg), Sha512::digest(msg));
+}
+
+}  // namespace
+}  // namespace mbtls::crypto

@@ -1,0 +1,196 @@
+// Ticket-based session resumption (RFC 5077 / paper §3.5), including
+// enclave-sealed tickets — "only the enclave knows the key needed to
+// decrypt the session ticket".
+#include <gtest/gtest.h>
+
+#include "tests/tls_test_util.h"
+
+namespace mbtls::tls {
+namespace {
+
+using testing::make_identity;
+using testing::pump;
+using testing::test_ca;
+
+struct TicketRig {
+  testing::ServerIdentity id = make_identity("tickets.example");
+  SessionCache client_cache;
+  Bytes ticket_key = crypto::Drbg("ticket-key", 0).bytes(32);
+
+  Config client_cfg(std::uint64_t seed) {
+    Config cfg;
+    cfg.is_client = true;
+    cfg.trust_anchors = {test_ca().root()};
+    cfg.server_name = "tickets.example";
+    cfg.session_cache = &client_cache;
+    cfg.offer_resumption = true;
+    cfg.enable_session_tickets = true;
+    cfg.rng_label = "tkt-client";
+    cfg.rng_seed = seed;
+    return cfg;
+  }
+  Config server_cfg(std::uint64_t seed) {
+    Config cfg;
+    cfg.is_client = false;
+    cfg.private_key = id.key;
+    cfg.certificate_chain = id.chain;
+    cfg.enable_session_tickets = true;
+    cfg.ticket_key = ticket_key;
+    cfg.rng_label = "tkt-server";
+    cfg.rng_seed = seed;
+    return cfg;
+  }
+};
+
+TEST(TlsTickets, FullHandshakeIssuesTicketThenResumes) {
+  TicketRig rig;
+  // Connection 1: full handshake; the server issues a NewSessionTicket.
+  {
+    Engine client(rig.client_cfg(1));
+    Engine server(rig.server_cfg(2));
+    client.start();
+    pump(client, server);
+    ASSERT_TRUE(client.handshake_done()) << client.error_message();
+    ASSERT_FALSE(client.resumed());
+  }
+  const auto cached = rig.client_cache.lookup_by_peer("tickets.example");
+  ASSERT_TRUE(cached.has_value());
+  ASSERT_FALSE(cached->ticket.empty());
+
+  // Connection 2: the server holds NO session cache — the ticket alone
+  // restores the session (that is the point of tickets).
+  {
+    Engine client(rig.client_cfg(11));
+    Engine server(rig.server_cfg(12));
+    client.start();
+    pump(client, server);
+    ASSERT_TRUE(client.handshake_done()) << client.error_message();
+    ASSERT_TRUE(server.handshake_done()) << server.error_message();
+    EXPECT_TRUE(client.resumed());
+    EXPECT_TRUE(server.resumed());
+    client.send(to_bytes(std::string_view("ticket data")));
+    pump(client, server);
+    EXPECT_EQ(mbtls::to_string(server.take_plaintext()), "ticket data");
+  }
+}
+
+TEST(TlsTickets, WrongTicketKeyFallsBackToFullHandshake) {
+  TicketRig rig;
+  {
+    Engine client(rig.client_cfg(21));
+    Engine server(rig.server_cfg(22));
+    client.start();
+    pump(client, server);
+    ASSERT_TRUE(client.handshake_done());
+  }
+  // A different server instance with a rotated ticket key cannot decrypt
+  // the ticket; it must fall back to a full handshake (and issue a fresh
+  // ticket under the new key).
+  Config scfg = rig.server_cfg(32);
+  scfg.ticket_key = crypto::Drbg("rotated-key", 1).bytes(32);
+  Engine client(rig.client_cfg(31));
+  Engine server(scfg);
+  client.start();
+  pump(client, server);
+  ASSERT_TRUE(client.handshake_done()) << client.error_message();
+  EXPECT_FALSE(client.resumed());
+  // The fresh ticket (under the rotated key) replaced the stale one.
+  const auto cached = rig.client_cache.lookup_by_peer("tickets.example");
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_FALSE(cached->ticket.empty());
+}
+
+TEST(TlsTickets, TamperedTicketRejectedGracefully) {
+  TicketRig rig;
+  {
+    Engine client(rig.client_cfg(41));
+    Engine server(rig.server_cfg(42));
+    client.start();
+    pump(client, server);
+    ASSERT_TRUE(client.handshake_done());
+  }
+  // Corrupt the cached ticket.
+  auto cached = rig.client_cache.lookup_by_peer("tickets.example");
+  ASSERT_TRUE(cached.has_value());
+  cached->ticket[cached->ticket.size() / 2] ^= 1;
+  rig.client_cache.store_by_peer("tickets.example", *cached);
+
+  Engine client(rig.client_cfg(51));
+  Engine server(rig.server_cfg(52));
+  client.start();
+  pump(client, server);
+  ASSERT_TRUE(client.handshake_done()) << client.error_message();
+  EXPECT_FALSE(client.resumed());  // fell back to a full handshake
+}
+
+TEST(TlsTickets, EnclaveSealedTickets) {
+  // An attested server seals tickets with its enclave sealing key: no
+  // ticket_key ever exists outside the enclave, and a different enclave
+  // (other code, or another machine) cannot decrypt them.
+  sgx::Platform platform;
+  sgx::Enclave& enclave = platform.launch("ticket-server-v1");
+  TicketRig rig;
+
+  auto server_cfg = [&](std::uint64_t seed, sgx::Enclave* enc) {
+    Config cfg = rig.server_cfg(seed);
+    cfg.ticket_key.clear();
+    cfg.enclave = enc;
+    return cfg;
+  };
+  {
+    Engine client(rig.client_cfg(61));
+    Engine server(server_cfg(62, &enclave));
+    client.start();
+    pump(client, server);
+    ASSERT_TRUE(client.handshake_done()) << client.error_message();
+  }
+  const auto cached = rig.client_cache.lookup_by_peer("tickets.example");
+  ASSERT_TRUE(cached && !cached->ticket.empty());
+  // The platform adversary sees the ticket on the wire but cannot open it,
+  // and neither can different enclave code.
+  sgx::Enclave& other_code = platform.launch("ticket-server-v2");
+  EXPECT_FALSE(other_code.unseal(cached->ticket).has_value());
+
+  // The same enclave resumes.
+  {
+    Engine client(rig.client_cfg(71));
+    Engine server(server_cfg(72, &enclave));
+    client.start();
+    pump(client, server);
+    ASSERT_TRUE(client.handshake_done()) << client.error_message();
+    EXPECT_TRUE(client.resumed());
+  }
+}
+
+TEST(TlsTickets, TicketStateCodecRoundTrip) {
+  SessionState state;
+  state.suite = CipherSuite::kEcdheRsaAes256GcmSha384;
+  state.session_id = Bytes(32, 5);
+  state.master_secret = Bytes(48, 6);
+  state.mbtls_key_material = Bytes(17, 7);
+  const auto back = decode_ticket_state(encode_ticket_state(state));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->suite, state.suite);
+  EXPECT_EQ(back->master_secret, state.master_secret);
+  EXPECT_EQ(back->mbtls_key_material, state.mbtls_key_material);
+  EXPECT_FALSE(decode_ticket_state(Bytes(3, 1)).has_value());
+}
+
+TEST(TlsTickets, ServerWithoutTicketsIgnoresOffer) {
+  TicketRig rig;
+  Config scfg = rig.server_cfg(82);
+  scfg.enable_session_tickets = false;
+  Engine client(rig.client_cfg(81));  // offers empty ticket extension
+  Engine server(scfg);
+  client.start();
+  pump(client, server);
+  ASSERT_TRUE(client.handshake_done()) << client.error_message();
+  EXPECT_FALSE(client.resumed());
+  // No ticket issued: the cache entry (ID-based) has no ticket bytes.
+  const auto cached = rig.client_cache.lookup_by_peer("tickets.example");
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_TRUE(cached->ticket.empty());
+}
+
+}  // namespace
+}  // namespace mbtls::tls

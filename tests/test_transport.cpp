@@ -1,0 +1,184 @@
+// mbTLS over the simulated network: socket bindings, multi-hop TCP, link
+// loss with retransmission, and timing sanity (handshake = TCP setup + two
+// TLS RTTs, no extra flights for mbTLS — property P7).
+#include <gtest/gtest.h>
+
+#include "mbtls/transport.h"
+#include "tests/tls_test_util.h"
+
+namespace mbtls::mb {
+namespace {
+
+using namespace net;
+using tls::testing::make_identity;
+using tls::testing::test_ca;
+
+struct WanRig {
+  Simulator sim;
+  Network network{sim};
+  NodeId nc, nm, ns;
+  std::unique_ptr<Host> client_host, mbox_host, server_host;
+
+  explicit WanRig(double loss = 0.0, std::uint64_t seed = 1) : network(sim, seed) {
+    nc = network.add_node("client");
+    nm = network.add_node("mbox");
+    ns = network.add_node("server");
+    network.add_link(nc, nm, {.propagation = 10 * kMillisecond, .loss_rate = loss});
+    network.add_link(nm, ns, {.propagation = 5 * kMillisecond, .loss_rate = loss});
+    client_host = std::make_unique<Host>(network, nc);
+    mbox_host = std::make_unique<Host>(network, nm);
+    server_host = std::make_unique<Host>(network, ns);
+  }
+};
+
+struct Parties {
+  ClientSession client;
+  ServerSession server;
+  Middlebox mbox;
+  std::unique_ptr<SocketBinding<ServerSession>> server_binding;
+  std::unique_ptr<MiddleboxBinding> mbox_binding;
+  std::unique_ptr<SocketBinding<ClientSession>> client_binding;
+
+  Parties(ClientSession::Options copts, ServerSession::Options sopts, Middlebox::Options mopts)
+      : client(std::move(copts)), server(std::move(sopts)), mbox(std::move(mopts)) {}
+};
+
+std::unique_ptr<Parties> wire_up(WanRig& rig, std::uint64_t seed) {
+  const auto server_id = make_identity("wan.example");
+  const auto mbox_id = make_identity("wanproxy.example");
+
+  ClientSession::Options copts;
+  copts.tls.trust_anchors = {test_ca().root()};
+  copts.tls.server_name = "wan.example";
+  copts.tls.rng_seed = seed;
+  ServerSession::Options sopts;
+  sopts.tls.private_key = server_id.key;
+  sopts.tls.certificate_chain = server_id.chain;
+  sopts.tls.rng_seed = seed + 1;
+  Middlebox::Options mopts;
+  mopts.name = "wanproxy.example";
+  mopts.side = Middlebox::Side::kClientSide;
+  mopts.private_key = mbox_id.key;
+  mopts.certificate_chain = mbox_id.chain;
+
+  auto parties = std::make_unique<Parties>(std::move(copts), std::move(sopts), std::move(mopts));
+
+  rig.server_host->listen(443, [&rig, p = parties.get()](Socket& socket) {
+    p->server_binding = std::make_unique<SocketBinding<ServerSession>>(p->server, socket);
+  });
+  rig.mbox_host->listen(443, [&rig, p = parties.get()](Socket& downstream) {
+    Socket& upstream = rig.mbox_host->connect(rig.ns, 443);
+    p->mbox_binding = std::make_unique<MiddleboxBinding>(p->mbox, downstream, upstream);
+  });
+  Socket& client_socket = rig.client_host->connect(rig.nm, 443);
+  parties->client_binding =
+      std::make_unique<SocketBinding<ClientSession>>(parties->client, client_socket);
+  client_socket.on_connect = [p = parties.get()] {
+    p->client.start();
+    p->client_binding->flush();
+  };
+  return parties;
+}
+
+TEST(Transport, MbtlsSessionOverSimulatedTcp) {
+  WanRig rig;
+  auto parties = wire_up(rig, 100);
+  rig.sim.run();
+  ASSERT_TRUE(parties->client.established()) << parties->client.error_message();
+  ASSERT_TRUE(parties->server.established());
+  EXPECT_TRUE(parties->mbox.joined());
+
+  parties->client.send(to_bytes(std::string_view("over tcp")));
+  parties->client_binding->flush();
+  rig.sim.run();
+  EXPECT_EQ(to_string(parties->server.take_app_data()), "over tcp");
+}
+
+TEST(Transport, HandshakeLatencyMatchesFlightCount) {
+  // TCP setup: client-mbox SYN/SYNACK (1 RTT to mbox) while mbox-server
+  // connects; then the TLS handshake's two end-to-end RTTs. mbTLS must not
+  // add round trips (P7): total well under 5 end-to-end RTTs.
+  WanRig rig;
+  auto parties = wire_up(rig, 200);
+  Time established_at = 0;
+  std::function<void()> poll = [&] {
+    if (parties->client.established()) {
+      established_at = rig.sim.now();
+      return;
+    }
+    rig.sim.schedule(100, poll);
+  };
+  rig.sim.schedule(100, poll);
+  rig.sim.run();
+  ASSERT_GT(established_at, 0u);
+  const Time e2e_rtt = 2 * (10 + 5) * kMillisecond;
+  EXPECT_LT(established_at, 4 * e2e_rtt);
+  EXPECT_GE(established_at, 2 * e2e_rtt);  // can't beat TCP + TLS physics
+}
+
+TEST(Transport, SurvivesPacketLoss) {
+  // 20% loss on both links: TCP retransmission must still deliver the
+  // byte-exact stream; mbTLS sits obliviously on top.
+  WanRig rig(/*loss=*/0.2, /*seed=*/7);
+  auto parties = wire_up(rig, 300);
+  rig.sim.run();
+  ASSERT_TRUE(parties->client.established()) << parties->client.error_message();
+  EXPECT_TRUE(parties->mbox.joined());
+
+  crypto::Drbg rng("loss-data", 0);
+  const Bytes blob = rng.bytes(30'000);
+  parties->client.send(blob);
+  parties->client_binding->flush();
+  rig.sim.run();
+  EXPECT_EQ(parties->server.take_app_data(), blob);
+}
+
+TEST(Transport, LegacyRelayOverTcp) {
+  // Relay-mode middlebox (legacy baseline) over the same topology.
+  WanRig rig;
+  const auto server_id = make_identity("relay.example");
+  const auto mbox_id = make_identity("relayproxy.example");
+  tls::Config ccfg;
+  ccfg.is_client = true;
+  ccfg.trust_anchors = {test_ca().root()};
+  ccfg.server_name = "relay.example";
+  tls::Engine client(ccfg);
+  tls::Config scfg;
+  scfg.is_client = false;
+  scfg.private_key = server_id.key;
+  scfg.certificate_chain = server_id.chain;
+  tls::Engine server(scfg);
+  Middlebox::Options mopts;
+  mopts.name = "relayproxy.example";
+  mopts.side = Middlebox::Side::kClientSide;
+  mopts.private_key = mbox_id.key;
+  mopts.certificate_chain = mbox_id.chain;
+  mopts.peer_known_legacy = true;  // forced relay
+  Middlebox mbox(std::move(mopts));
+
+  std::unique_ptr<SocketBinding<tls::Engine>> server_binding;
+  std::unique_ptr<MiddleboxBinding> mbox_binding;
+  rig.server_host->listen(443, [&](Socket& socket) {
+    server_binding = std::make_unique<SocketBinding<tls::Engine>>(server, socket);
+  });
+  rig.mbox_host->listen(443, [&](Socket& downstream) {
+    Socket& upstream = rig.mbox_host->connect(rig.ns, 443);
+    mbox_binding = std::make_unique<MiddleboxBinding>(mbox, downstream, upstream);
+  });
+  Socket& client_socket = rig.client_host->connect(rig.nm, 443);
+  SocketBinding<tls::Engine> client_binding(client, client_socket);
+  client_socket.on_connect = [&] {
+    client.start();
+    client_binding.flush();
+  };
+  rig.sim.run();
+  ASSERT_TRUE(client.handshake_done()) << client.error_message();
+  EXPECT_TRUE(mbox.relay_mode());
+  client.send(to_bytes(std::string_view("plain tls through relay")));
+  client_binding.flush();
+  rig.sim.run();
+  EXPECT_EQ(to_string(server.take_plaintext()), "plain tls through relay");
+}
+
+}  // namespace
+}  // namespace mbtls::mb

@@ -1,0 +1,59 @@
+// Shared helpers for TLS and mbTLS tests: a process-wide test CA / keys
+// (RSA keygen is expensive) and an in-memory pump that shuttles bytes
+// between two engines until quiescence.
+#pragma once
+
+#include "tls/engine.h"
+#include "x509/certificate.h"
+
+namespace mbtls::tls::testing {
+
+inline crypto::Drbg& shared_rng() {
+  static crypto::Drbg rng("tls-test-shared", 0);
+  return rng;
+}
+
+inline const x509::CertificateAuthority& test_ca() {
+  static const x509::CertificateAuthority ca =
+      x509::CertificateAuthority::create("mbTLS Test Root", x509::KeyType::kEcdsaP256,
+                                         shared_rng());
+  return ca;
+}
+
+struct ServerIdentity {
+  std::shared_ptr<x509::PrivateKey> key;
+  std::vector<x509::Certificate> chain;
+};
+
+/// Issue a fresh server identity signed by the shared test CA.
+inline ServerIdentity make_identity(const std::string& cn,
+                                    x509::KeyType type = x509::KeyType::kEcdsaP256) {
+  ServerIdentity id;
+  // 1024-bit RSA keeps the RSA-suite tests fast; benches use 2048.
+  id.key = std::make_shared<x509::PrivateKey>(
+      x509::PrivateKey::generate(type, shared_rng(), /*rsa_bits=*/1024));
+  x509::CertRequest req;
+  req.subject_cn = cn;
+  req.san_dns = {cn};
+  req.not_before = 0;
+  req.not_after = 2524607999;
+  req.key = id.key->public_key();
+  id.chain = {test_ca().issue(req, shared_rng())};
+  return id;
+}
+
+/// Shuttle bytes between two engines until neither produces output.
+/// Returns the number of pump iterations.
+inline int pump(Engine& a, Engine& b, int max_iters = 50) {
+  int iters = 0;
+  for (; iters < max_iters; ++iters) {
+    const Bytes from_a = a.take_output();
+    const Bytes from_b = b.take_output();
+    if (from_a.empty() && from_b.empty()) break;
+    if (!from_a.empty()) b.feed(from_a);
+    if (!from_b.empty()) a.feed(from_b);
+  }
+  return iters;
+}
+
+}  // namespace mbtls::tls::testing
