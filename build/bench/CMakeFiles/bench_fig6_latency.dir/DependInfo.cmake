@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_latency.cpp" "bench/CMakeFiles/bench_fig6_latency.dir/bench_fig6_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_latency.dir/bench_fig6_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mbtls/CMakeFiles/mbtls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/mbtls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/mbtls_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/mbtls_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/mbtls_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsa/CMakeFiles/mbtls_rsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/mbtls_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/mbtls_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mbtls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mbtls_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mbtls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_legacy_interop.dir/bench_legacy_interop.cpp.o"
+  "CMakeFiles/bench_legacy_interop.dir/bench_legacy_interop.cpp.o.d"
+  "bench_legacy_interop"
+  "bench_legacy_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_legacy_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_viability.dir/bench_table2_viability.cpp.o"
+  "CMakeFiles/bench_table2_viability.dir/bench_table2_viability.cpp.o.d"
+  "bench_table2_viability"
+  "bench_table2_viability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_viability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_cdn.dir/compression_cdn.cpp.o"
+  "CMakeFiles/compression_cdn.dir/compression_cdn.cpp.o.d"
+  "compression_cdn"
+  "compression_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

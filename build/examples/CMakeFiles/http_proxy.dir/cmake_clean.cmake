@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_proxy.dir/http_proxy.cpp.o"
+  "CMakeFiles/http_proxy.dir/http_proxy.cpp.o.d"
+  "http_proxy"
+  "http_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

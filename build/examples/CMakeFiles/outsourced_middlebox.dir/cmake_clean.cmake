@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outsourced_middlebox.dir/outsourced_middlebox.cpp.o"
+  "CMakeFiles/outsourced_middlebox.dir/outsourced_middlebox.cpp.o.d"
+  "outsourced_middlebox"
+  "outsourced_middlebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outsourced_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

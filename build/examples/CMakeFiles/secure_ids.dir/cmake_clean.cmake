@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_ids.dir/secure_ids.cpp.o"
+  "CMakeFiles/secure_ids.dir/secure_ids.cpp.o.d"
+  "secure_ids"
+  "secure_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("bignum")
+subdirs("ec")
+subdirs("rsa")
+subdirs("asn1")
+subdirs("x509")
+subdirs("net")
+subdirs("sgx")
+subdirs("tls")
+subdirs("mbtls")
+subdirs("baselines")
+subdirs("http")
+subdirs("mbox")
+subdirs("attacks")

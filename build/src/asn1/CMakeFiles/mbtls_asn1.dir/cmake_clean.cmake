@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_asn1.dir/der.cpp.o"
+  "CMakeFiles/mbtls_asn1.dir/der.cpp.o.d"
+  "libmbtls_asn1.a"
+  "libmbtls_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mbtls_asn1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_attacks.dir/attacks.cpp.o"
+  "CMakeFiles/mbtls_attacks.dir/attacks.cpp.o.d"
+  "libmbtls_attacks.a"
+  "libmbtls_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_baselines.dir/mctls.cpp.o"
+  "CMakeFiles/mbtls_baselines.dir/mctls.cpp.o.d"
+  "CMakeFiles/mbtls_baselines.dir/naive_shared_key.cpp.o"
+  "CMakeFiles/mbtls_baselines.dir/naive_shared_key.cpp.o.d"
+  "CMakeFiles/mbtls_baselines.dir/split_tls.cpp.o"
+  "CMakeFiles/mbtls_baselines.dir/split_tls.cpp.o.d"
+  "libmbtls_baselines.a"
+  "libmbtls_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_bignum.dir/bignum.cpp.o"
+  "CMakeFiles/mbtls_bignum.dir/bignum.cpp.o.d"
+  "CMakeFiles/mbtls_bignum.dir/prime.cpp.o"
+  "CMakeFiles/mbtls_bignum.dir/prime.cpp.o.d"
+  "libmbtls_bignum.a"
+  "libmbtls_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_crypto.dir/aes.cpp.o"
+  "CMakeFiles/mbtls_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/mbtls_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/mbtls_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/mbtls_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/mbtls_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/mbtls_crypto.dir/gcm.cpp.o"
+  "CMakeFiles/mbtls_crypto.dir/gcm.cpp.o.d"
+  "CMakeFiles/mbtls_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/mbtls_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/mbtls_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/mbtls_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/mbtls_crypto.dir/sha2.cpp.o"
+  "CMakeFiles/mbtls_crypto.dir/sha2.cpp.o.d"
+  "libmbtls_crypto.a"
+  "libmbtls_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_ec.dir/ecdh.cpp.o"
+  "CMakeFiles/mbtls_ec.dir/ecdh.cpp.o.d"
+  "CMakeFiles/mbtls_ec.dir/ecdsa.cpp.o"
+  "CMakeFiles/mbtls_ec.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/mbtls_ec.dir/p256.cpp.o"
+  "CMakeFiles/mbtls_ec.dir/p256.cpp.o.d"
+  "libmbtls_ec.a"
+  "libmbtls_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

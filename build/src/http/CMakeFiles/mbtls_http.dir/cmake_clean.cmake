@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_http.dir/http.cpp.o"
+  "CMakeFiles/mbtls_http.dir/http.cpp.o.d"
+  "libmbtls_http.a"
+  "libmbtls_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbtls_http.a"
+)

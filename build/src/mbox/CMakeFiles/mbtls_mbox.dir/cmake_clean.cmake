@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_mbox.dir/cache.cpp.o"
+  "CMakeFiles/mbtls_mbox.dir/cache.cpp.o.d"
+  "CMakeFiles/mbtls_mbox.dir/compression_proxy.cpp.o"
+  "CMakeFiles/mbtls_mbox.dir/compression_proxy.cpp.o.d"
+  "CMakeFiles/mbtls_mbox.dir/header_proxy.cpp.o"
+  "CMakeFiles/mbtls_mbox.dir/header_proxy.cpp.o.d"
+  "CMakeFiles/mbtls_mbox.dir/ids.cpp.o"
+  "CMakeFiles/mbtls_mbox.dir/ids.cpp.o.d"
+  "CMakeFiles/mbtls_mbox.dir/lz.cpp.o"
+  "CMakeFiles/mbtls_mbox.dir/lz.cpp.o.d"
+  "libmbtls_mbox.a"
+  "libmbtls_mbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_mbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

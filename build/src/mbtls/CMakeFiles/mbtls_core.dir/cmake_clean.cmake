@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_core.dir/client.cpp.o"
+  "CMakeFiles/mbtls_core.dir/client.cpp.o.d"
+  "CMakeFiles/mbtls_core.dir/middlebox.cpp.o"
+  "CMakeFiles/mbtls_core.dir/middlebox.cpp.o.d"
+  "CMakeFiles/mbtls_core.dir/server.cpp.o"
+  "CMakeFiles/mbtls_core.dir/server.cpp.o.d"
+  "CMakeFiles/mbtls_core.dir/types.cpp.o"
+  "CMakeFiles/mbtls_core.dir/types.cpp.o.d"
+  "libmbtls_core.a"
+  "libmbtls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

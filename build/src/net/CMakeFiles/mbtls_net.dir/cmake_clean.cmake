@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_net.dir/network.cpp.o"
+  "CMakeFiles/mbtls_net.dir/network.cpp.o.d"
+  "CMakeFiles/mbtls_net.dir/simulator.cpp.o"
+  "CMakeFiles/mbtls_net.dir/simulator.cpp.o.d"
+  "CMakeFiles/mbtls_net.dir/tcp.cpp.o"
+  "CMakeFiles/mbtls_net.dir/tcp.cpp.o.d"
+  "libmbtls_net.a"
+  "libmbtls_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_rsa.dir/rsa.cpp.o"
+  "CMakeFiles/mbtls_rsa.dir/rsa.cpp.o.d"
+  "libmbtls_rsa.a"
+  "libmbtls_rsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

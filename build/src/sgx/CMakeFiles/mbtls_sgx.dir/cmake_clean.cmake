@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_sgx.dir/attestation.cpp.o"
+  "CMakeFiles/mbtls_sgx.dir/attestation.cpp.o.d"
+  "CMakeFiles/mbtls_sgx.dir/enclave.cpp.o"
+  "CMakeFiles/mbtls_sgx.dir/enclave.cpp.o.d"
+  "libmbtls_sgx.a"
+  "libmbtls_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mbtls_sgx.
+# This may be replaced when dependencies are built.

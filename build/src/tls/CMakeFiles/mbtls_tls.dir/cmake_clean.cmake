@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_tls.dir/common.cpp.o"
+  "CMakeFiles/mbtls_tls.dir/common.cpp.o.d"
+  "CMakeFiles/mbtls_tls.dir/dh.cpp.o"
+  "CMakeFiles/mbtls_tls.dir/dh.cpp.o.d"
+  "CMakeFiles/mbtls_tls.dir/engine.cpp.o"
+  "CMakeFiles/mbtls_tls.dir/engine.cpp.o.d"
+  "CMakeFiles/mbtls_tls.dir/messages.cpp.o"
+  "CMakeFiles/mbtls_tls.dir/messages.cpp.o.d"
+  "CMakeFiles/mbtls_tls.dir/prf.cpp.o"
+  "CMakeFiles/mbtls_tls.dir/prf.cpp.o.d"
+  "CMakeFiles/mbtls_tls.dir/record.cpp.o"
+  "CMakeFiles/mbtls_tls.dir/record.cpp.o.d"
+  "CMakeFiles/mbtls_tls.dir/session.cpp.o"
+  "CMakeFiles/mbtls_tls.dir/session.cpp.o.d"
+  "libmbtls_tls.a"
+  "libmbtls_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_util.dir/bytes.cpp.o"
+  "CMakeFiles/mbtls_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mbtls_util.dir/hex.cpp.o"
+  "CMakeFiles/mbtls_util.dir/hex.cpp.o.d"
+  "CMakeFiles/mbtls_util.dir/reader.cpp.o"
+  "CMakeFiles/mbtls_util.dir/reader.cpp.o.d"
+  "CMakeFiles/mbtls_util.dir/writer.cpp.o"
+  "CMakeFiles/mbtls_util.dir/writer.cpp.o.d"
+  "libmbtls_util.a"
+  "libmbtls_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

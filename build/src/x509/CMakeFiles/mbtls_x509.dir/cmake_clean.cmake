@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbtls_x509.dir/certificate.cpp.o"
+  "CMakeFiles/mbtls_x509.dir/certificate.cpp.o.d"
+  "CMakeFiles/mbtls_x509.dir/keys.cpp.o"
+  "CMakeFiles/mbtls_x509.dir/keys.cpp.o.d"
+  "CMakeFiles/mbtls_x509.dir/verify.cpp.o"
+  "CMakeFiles/mbtls_x509.dir/verify.cpp.o.d"
+  "libmbtls_x509.a"
+  "libmbtls_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbtls_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

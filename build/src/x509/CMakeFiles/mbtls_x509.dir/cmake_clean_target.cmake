@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbtls_x509.a"
+)

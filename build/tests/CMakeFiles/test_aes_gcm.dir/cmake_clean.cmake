@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aes_gcm.dir/test_aes_gcm.cpp.o"
+  "CMakeFiles/test_aes_gcm.dir/test_aes_gcm.cpp.o.d"
+  "test_aes_gcm"
+  "test_aes_gcm.pdb"
+  "test_aes_gcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aes_gcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

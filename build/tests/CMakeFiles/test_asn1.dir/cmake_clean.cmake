@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asn1.dir/test_asn1.cpp.o"
+  "CMakeFiles/test_asn1.dir/test_asn1.cpp.o.d"
+  "test_asn1"
+  "test_asn1.pdb"
+  "test_asn1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

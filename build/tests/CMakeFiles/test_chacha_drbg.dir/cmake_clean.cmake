@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chacha_drbg.dir/test_chacha_drbg.cpp.o"
+  "CMakeFiles/test_chacha_drbg.dir/test_chacha_drbg.cpp.o.d"
+  "test_chacha_drbg"
+  "test_chacha_drbg.pdb"
+  "test_chacha_drbg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chacha_drbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

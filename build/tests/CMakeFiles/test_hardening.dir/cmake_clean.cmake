@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardening.dir/test_hardening.cpp.o"
+  "CMakeFiles/test_hardening.dir/test_hardening.cpp.o.d"
+  "test_hardening"
+  "test_hardening.pdb"
+  "test_hardening[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

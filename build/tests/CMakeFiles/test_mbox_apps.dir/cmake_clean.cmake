@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbox_apps.dir/test_mbox_apps.cpp.o"
+  "CMakeFiles/test_mbox_apps.dir/test_mbox_apps.cpp.o.d"
+  "test_mbox_apps"
+  "test_mbox_apps.pdb"
+  "test_mbox_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbox_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

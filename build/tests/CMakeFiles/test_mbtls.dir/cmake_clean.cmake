@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbtls.dir/test_mbtls.cpp.o"
+  "CMakeFiles/test_mbtls.dir/test_mbtls.cpp.o.d"
+  "test_mbtls"
+  "test_mbtls.pdb"
+  "test_mbtls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbtls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbtls_edge.dir/test_mbtls_edge.cpp.o"
+  "CMakeFiles/test_mbtls_edge.dir/test_mbtls_edge.cpp.o.d"
+  "test_mbtls_edge"
+  "test_mbtls_edge.pdb"
+  "test_mbtls_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbtls_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbtls_resumption.dir/test_mbtls_resumption.cpp.o"
+  "CMakeFiles/test_mbtls_resumption.dir/test_mbtls_resumption.cpp.o.d"
+  "test_mbtls_resumption"
+  "test_mbtls_resumption.pdb"
+  "test_mbtls_resumption[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbtls_resumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

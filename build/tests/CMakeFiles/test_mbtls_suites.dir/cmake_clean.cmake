@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbtls_suites.dir/test_mbtls_suites.cpp.o"
+  "CMakeFiles/test_mbtls_suites.dir/test_mbtls_suites.cpp.o.d"
+  "test_mbtls_suites"
+  "test_mbtls_suites.pdb"
+  "test_mbtls_suites[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbtls_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mctls.dir/test_mctls.cpp.o"
+  "CMakeFiles/test_mctls.dir/test_mctls.cpp.o.d"
+  "test_mctls"
+  "test_mctls.pdb"
+  "test_mctls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mctls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

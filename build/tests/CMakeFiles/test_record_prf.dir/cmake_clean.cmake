@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_record_prf.dir/test_record_prf.cpp.o"
+  "CMakeFiles/test_record_prf.dir/test_record_prf.cpp.o.d"
+  "test_record_prf"
+  "test_record_prf.pdb"
+  "test_record_prf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_record_prf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sha2.dir/test_sha2.cpp.o"
+  "CMakeFiles/test_sha2.dir/test_sha2.cpp.o.d"
+  "test_sha2"
+  "test_sha2.pdb"
+  "test_sha2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sha2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tls_negative.dir/test_tls_negative.cpp.o"
+  "CMakeFiles/test_tls_negative.dir/test_tls_negative.cpp.o.d"
+  "test_tls_negative"
+  "test_tls_negative.pdb"
+  "test_tls_negative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tls_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

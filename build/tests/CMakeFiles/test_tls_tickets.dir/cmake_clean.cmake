@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tls_tickets.dir/test_tls_tickets.cpp.o"
+  "CMakeFiles/test_tls_tickets.dir/test_tls_tickets.cpp.o.d"
+  "test_tls_tickets"
+  "test_tls_tickets.pdb"
+  "test_tls_tickets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tls_tickets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sha2[1]_include.cmake")
+include("/root/repo/build/tests/test_hmac_hkdf[1]_include.cmake")
+include("/root/repo/build/tests/test_aes_gcm[1]_include.cmake")
+include("/root/repo/build/tests/test_chacha_drbg[1]_include.cmake")
+include("/root/repo/build/tests/test_bignum[1]_include.cmake")
+include("/root/repo/build/tests/test_ec[1]_include.cmake")
+include("/root/repo/build/tests/test_rsa[1]_include.cmake")
+include("/root/repo/build/tests/test_asn1[1]_include.cmake")
+include("/root/repo/build/tests/test_x509[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_sgx[1]_include.cmake")
+include("/root/repo/build/tests/test_tls[1]_include.cmake")
+include("/root/repo/build/tests/test_mbtls[1]_include.cmake")
+include("/root/repo/build/tests/test_http[1]_include.cmake")
+include("/root/repo/build/tests/test_mbox_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_mbtls_resumption[1]_include.cmake")
+include("/root/repo/build/tests/test_mbtls_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_record_prf[1]_include.cmake")
+include("/root/repo/build/tests/test_tls_tickets[1]_include.cmake")
+include("/root/repo/build/tests/test_mbtls_suites[1]_include.cmake")
+include("/root/repo/build/tests/test_hardening[1]_include.cmake")
+include("/root/repo/build/tests/test_tls_negative[1]_include.cmake")
+include("/root/repo/build/tests/test_mctls[1]_include.cmake")
