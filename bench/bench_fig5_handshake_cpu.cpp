@@ -159,7 +159,6 @@ Sample run_mbtls(const std::string& kx, int client_mboxes, int server_mboxes,
 // -------------------------------------------------------------- split TLS
 
 Sample run_split(const std::string& kx, std::uint64_t seed);
-Sample run_split_warmup(const std::string& kx, std::uint64_t seed) { return run_split(kx, seed); }
 
 Sample run_split(const std::string& kx, std::uint64_t seed) {
   tls::Config ccfg;

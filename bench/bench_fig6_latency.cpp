@@ -178,7 +178,7 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 6: mbTLS vs TLS latency across WAN paths (%d trials) ===\n", trials);
   std::printf("Time to fetch a 1 KB object via one middlebox; virtual WAN with real RTTs.\n\n");
   std::printf("%-16s | %-28s | %-28s | delta\n", "path (c-m-s)", "TLS relay: hs / total (ms)",
-              "mbTLS: hs / total (ms)", "");
+              "mbTLS: hs / total (ms)");
   double total_tls = 0, total_mb = 0;
   for (const auto& path : kPaths) {
     std::vector<double> tls_hs, tls_total, mb_hs, mb_total;

@@ -76,11 +76,11 @@ double run_config(const Config& config, std::size_t buffer_size, double seconds_
           auto opened = pass_in.open_c2s(tls::ContentType::kApplicationData, record);
           if (!opened) std::abort();
           const Bytes resealed = pass_out.seal_c2s(tls::ContentType::kApplicationData, *opened);
-          sink += resealed.size();
+          sink = sink + resealed.size();
         } else {
           // Plain forwarding: touch the bytes (copy) like a forwarding path.
           Bytes copy(record.begin(), record.end());
-          sink += copy.size();
+          sink = sink + copy.size();
         }
       };
       sgx::burn_cycles(kIoCostIterations);  // recv()/send() handling

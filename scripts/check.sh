@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Full local gate: warnings-as-errors build + tests, secret-hygiene lint,
+# then the same suite under ASan(+LSan) and UBSan.
+#
+#   scripts/check.sh            # everything (tier-1, lint, asan, ubsan)
+#   scripts/check.sh --fast     # tier-1 build + tests + lint only
+#
+# Run from anywhere; paths resolve relative to the repo root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1: configure + build (-Werror)"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+
+step "tier-1: ctest"
+ctest --preset default -j "$jobs"
+
+step "mbtls-lint: src/ tests/ tools/ bench/"
+./build/tools/lint/mbtls-lint src tests tools bench
+echo "lint clean"
+
+if [[ "$fast" == 1 ]]; then
+  step "fast mode: skipping sanitizer builds"
+  exit 0
+fi
+
+step "asan: configure + build"
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$jobs"
+
+step "asan: ctest (leaks + stack-use-after-return on)"
+ctest --preset asan -j "$jobs"
+
+step "ubsan: configure + build"
+cmake --preset ubsan >/dev/null
+cmake --build --preset ubsan -j "$jobs"
+
+step "ubsan: ctest (halt on first report)"
+ctest --preset ubsan -j "$jobs"
+
+step "all checks passed"

@@ -234,7 +234,8 @@ std::string Parser::oid() {
       v = (v << 7) | (e.content[i] & 0x7f);
       if (!(e.content[i++] & 0x80)) break;
     }
-    out += "." + std::to_string(v);
+    out += '.';
+    out += std::to_string(v);
   }
   return out;
 }
@@ -277,7 +278,7 @@ Parser Parser::set() { return Parser(expect(Tag::kSet).content); }
 Parser Parser::context(unsigned n) { return Parser(expect(context_tag(n)).content); }
 
 std::uint8_t Parser::peek_tag() const {
-  Reader copy = r_;
+  Reader copy = r_;  // lint: partial-read (peek: reads one byte by design)
   return copy.u8();
 }
 

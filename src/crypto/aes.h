@@ -20,6 +20,12 @@ class Aes {
   /// Key must be 16, 24, or 32 bytes.
   explicit Aes(ByteView key);
 
+  ~Aes() { secure_wipe_object(round_keys_); }
+  Aes(const Aes&) = default;
+  Aes(Aes&&) = default;
+  Aes& operator=(const Aes&) = default;
+  Aes& operator=(Aes&&) = default;
+
   void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
   void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
 
@@ -29,7 +35,7 @@ class Aes {
   std::size_t key_size_;
   int rounds_;
   // Round keys stored as bytes, 16 per round (+1 for the initial AddRoundKey).
-  std::array<std::uint8_t, 16 * 15> round_keys_{};
+  std::array<std::uint8_t, 16 * 15> round_keys_{};  // lint: secret
 };
 
 }  // namespace mbtls::crypto

@@ -21,12 +21,21 @@ class ChaCha20 {
   /// Produce `n` raw keystream bytes.
   Bytes keystream(std::size_t n);
 
+  ~ChaCha20() {
+    secure_wipe_object(state_);    // words 4-11 are the key
+    secure_wipe_object(partial_);  // unconsumed keystream
+  }
+  ChaCha20(const ChaCha20&) = default;
+  ChaCha20(ChaCha20&&) = default;
+  ChaCha20& operator=(const ChaCha20&) = default;
+  ChaCha20& operator=(ChaCha20&&) = default;
+
  private:
   void block(std::uint32_t counter, std::uint8_t out[64]) const;
 
-  std::array<std::uint32_t, 16> state_{};
-  std::uint32_t counter_;
+  std::array<std::uint32_t, 16> state_{};  // lint: secret
   std::array<std::uint8_t, 64> partial_{};
+  std::uint32_t counter_;
   std::size_t partial_used_ = 64;  // 64 == empty
 };
 

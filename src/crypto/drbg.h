@@ -40,6 +40,12 @@ class Drbg {
   /// components without sharing a stream).
   Drbg fork(std::string_view label);
 
+  ~Drbg() { secure_wipe(key_); }
+  Drbg(const Drbg&) = delete;
+  Drbg(Drbg&&) = default;
+  Drbg& operator=(const Drbg&) = delete;
+  Drbg& operator=(Drbg&&) = default;
+
  private:
   std::unique_ptr<ChaCha20> stream_;
   Bytes key_;  // retained for fork()

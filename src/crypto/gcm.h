@@ -21,6 +21,16 @@ class AesGcm {
   /// Key must be 16 or 32 bytes (AES-128-GCM / AES-256-GCM).
   explicit AesGcm(ByteView key);
 
+  // The GHASH key and its expansion table are key-equivalent material.
+  ~AesGcm() {
+    secure_wipe_object(h_);
+    secure_wipe_object(m_table_);
+  }
+  AesGcm(const AesGcm&) = default;
+  AesGcm(AesGcm&&) = default;
+  AesGcm& operator=(const AesGcm&) = default;
+  AesGcm& operator=(AesGcm&&) = default;
+
   /// Encrypts `plaintext`; returns ciphertext || 16-byte tag.
   Bytes seal(ByteView iv, ByteView aad, ByteView plaintext) const;
 

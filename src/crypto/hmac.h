@@ -16,11 +16,21 @@ class Hmac {
   void update(ByteView data);
   Bytes finish();
 
+  ~Hmac() {
+    secure_wipe(inner_key_pad_);
+    secure_wipe(outer_key_pad_);
+    secure_wipe(inner_data_);
+  }
+  Hmac(const Hmac&) = default;
+  Hmac(Hmac&&) = default;
+  Hmac& operator=(const Hmac&) = default;
+  Hmac& operator=(Hmac&&) = default;
+
  private:
   HashAlgo algo_;
   Bytes inner_key_pad_;  // key ^ ipad, kept to restart the outer hash
   Bytes outer_key_pad_;
-  Bytes inner_data_;     // buffered inner-hash input
+  Bytes inner_data_;     // buffered inner-hash input; may echo secret input
 };
 
 }  // namespace mbtls::crypto

@@ -152,6 +152,9 @@ template <typename State, typename Compress>
 void generic_update(State& buf, std::size_t& buf_len, std::uint64_t& total, std::size_t block_size,
                     Compress compress, ByteView data) {
   total += data.size();
+  // An empty view may carry data() == nullptr, and memcpy(dst, nullptr, 0)
+  // is still undefined behaviour.
+  if (data.empty()) return;
   std::size_t off = 0;
   if (buf_len > 0) {
     const std::size_t take = std::min(block_size - buf_len, data.size());

@@ -31,6 +31,14 @@ Engine::Engine(Config config)
   state_ = config_.is_client ? EngineState::kIdle : EngineState::kAwaitClientHello;
 }
 
+Engine::~Engine() {
+  secure_wipe(pre_master_secret_);
+  secure_wipe(master_secret_);
+  secure_wipe(config_.ticket_key);
+  // key_block_, offered_session_ and the hop channels wipe themselves
+  // (DirectionKeys / SessionState / AesGcm destructors).
+}
+
 // ------------------------------------------------------------------ egress
 
 void Engine::emit_record(ContentType type, ByteView payload) {

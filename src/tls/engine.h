@@ -84,7 +84,7 @@ struct Config {
   // observation that "only the enclave knows the key needed to decrypt the
   // session ticket".
   bool enable_session_tickets = false;
-  Bytes ticket_key;  // 32 bytes; empty = derive from enclave (or refuse)
+  Bytes ticket_key;  // 32 bytes; empty = derive from enclave (or refuse)  // lint: secret
 
   // SGX attestation (extended handshake, §3.4).
   sgx::Enclave* enclave = nullptr;     // if set: attest when asked, keys live in enclave
@@ -128,6 +128,14 @@ enum class EngineState {
 class Engine {
  public:
   explicit Engine(Config config);
+
+  /// Scrubs handshake and session key material (pre-master, master, key
+  /// block, ticket key) before the memory is returned to the allocator.
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine(Engine&&) = default;
+  Engine& operator=(const Engine&) = delete;
+  Engine& operator=(Engine&&) = default;
 
   // ------------------------------------------------------------- lifecycle
   /// Client: emit the ClientHello. No-op for servers.

@@ -51,6 +51,7 @@ std::vector<Extension> parse_extensions(Reader& r) {
     ext.data = to_bytes(exts.vec16());
     out.push_back(std::move(ext));
   }
+  exts.expect_end();
   return out;
 }
 
@@ -68,12 +69,15 @@ std::optional<std::string> parse_sni(ByteView data) {
   try {
     Reader r(data);
     Reader list(r.vec16());
+    r.expect_end();
+    std::optional<std::string> host;
     while (!list.empty()) {
       const std::uint8_t name_type = list.u8();
       const ByteView name = list.vec16();
-      if (name_type == 0) return mbtls::to_string(name);
+      if (name_type == 0 && !host) host = mbtls::to_string(name);
     }
-    return std::nullopt;
+    list.expect_end();
+    return host;
   } catch (const DecodeError&) {
     return std::nullopt;
   }
@@ -105,8 +109,10 @@ ClientHello ClientHello::parse(ByteView body) {
   hello.session_id = to_bytes(r.vec8());
   Reader suites(r.vec16());
   while (!suites.empty()) hello.cipher_suites.push_back(suites.u16());
+  suites.expect_end();
   r.vec8();  // compression methods
   hello.extensions = parse_extensions(r);
+  r.expect_end();
   return hello;
 }
 
@@ -139,6 +145,7 @@ ServerHello ServerHello::parse(ByteView body) {
   hello.cipher_suite = r.u16();
   r.u8();  // compression
   hello.extensions = parse_extensions(r);
+  r.expect_end();
   return hello;
 }
 
@@ -158,6 +165,7 @@ CertificateMsg CertificateMsg::parse(ByteView body) {
   CertificateMsg msg;
   Reader list(r.vec24());
   while (!list.empty()) msg.chain_der.push_back(to_bytes(list.vec24()));
+  list.expect_end();
   r.expect_end();
   return msg;
 }

@@ -126,12 +126,26 @@ struct MiddleboxSupportExtension {
 /// Paper Appendix A.1: key material an endpoint ships to a middlebox over
 /// the (encrypted) secondary session — one direction-pair per adjacent hop.
 struct HopKeys {
-  Bytes client_to_server_key;
+  Bytes client_to_server_key;  // lint: secret
   Bytes client_to_server_iv;   // 4-byte GCM salt
-  Bytes server_to_client_key;
+  Bytes server_to_client_key;  // lint: secret
   Bytes server_to_client_iv;
   std::uint64_t client_to_server_seq = 0;
   std::uint64_t server_to_client_seq = 0;
+
+  HopKeys() = default;
+  HopKeys(const HopKeys&) = default;
+  HopKeys(HopKeys&&) = default;
+  HopKeys& operator=(const HopKeys&) = default;
+  HopKeys& operator=(HopKeys&&) = default;
+  // Hop keys are copied into every node of a session chain; each copy
+  // scrubs itself when it dies (P1/P4 rest on these bytes staying private).
+  ~HopKeys() {
+    secure_wipe(client_to_server_key);
+    secure_wipe(client_to_server_iv);
+    secure_wipe(server_to_client_key);
+    secure_wipe(server_to_client_iv);
+  }
 };
 
 struct KeyMaterialMsg {

@@ -15,10 +15,24 @@ Bytes prf(crypto::HashAlgo hash, ByteView secret, std::string_view label, ByteVi
 Bytes derive_master_secret(crypto::HashAlgo hash, ByteView pre_master, ByteView client_random,
                            ByteView server_random);
 
-/// AEAD traffic keys for one direction of one connection.
+/// AEAD traffic keys for one direction of one connection. Wipes itself on
+/// destruction: copies of the key block travel through HopKeys messages and
+/// session caches, and every copy's death must scrub its bytes.
 struct DirectionKeys {
-  Bytes key;       // AES key
+  Bytes key;       // AES key  // lint: secret
   Bytes fixed_iv;  // 4-byte implicit GCM salt
+
+  DirectionKeys() = default;
+  DirectionKeys(Bytes key_in, Bytes fixed_iv_in)
+      : key(std::move(key_in)), fixed_iv(std::move(fixed_iv_in)) {}
+  DirectionKeys(const DirectionKeys&) = default;
+  DirectionKeys(DirectionKeys&&) = default;
+  DirectionKeys& operator=(const DirectionKeys&) = default;
+  DirectionKeys& operator=(DirectionKeys&&) = default;
+  ~DirectionKeys() {
+    secure_wipe(key);
+    secure_wipe(fixed_iv);
+  }
 };
 
 struct KeyBlock {

@@ -16,14 +16,26 @@ namespace mbtls::tls {
 struct SessionState {
   Bytes session_id;
   CipherSuite suite{};
-  Bytes master_secret;
+  Bytes master_secret;  // lint: secret
   // For mbTLS middlebox resumption: the per-hop key material that was
   // distributed last time (empty for plain TLS sessions).
-  Bytes mbtls_key_material;
+  Bytes mbtls_key_material;  // lint: secret
   // Client side: the opaque ticket the server issued (RFC 5077), offered in
   // the SessionTicket extension on the next connection. Never serialized
   // into tickets themselves.
   Bytes ticket;
+
+  SessionState() = default;
+  SessionState(const SessionState&) = default;
+  SessionState(SessionState&&) = default;
+  SessionState& operator=(const SessionState&) = default;
+  SessionState& operator=(SessionState&&) = default;
+  // Cached sessions hold live key material; scrub it whenever an entry dies
+  // (cache eviction, ticket decode temporaries, engine teardown).
+  ~SessionState() {
+    secure_wipe(master_secret);
+    secure_wipe(mbtls_key_material);
+  }
 };
 
 /// Seal a SessionState into an opaque ticket (RFC 5077 style). `sealer`

@@ -45,6 +45,9 @@ void xor_into(MutableByteView a, ByteView b) {
 void secure_wipe(MutableByteView v) {
   volatile std::uint8_t* p = v.data();
   for (std::size_t i = 0; i < v.size(); ++i) p[i] = 0;
+  // Volatile stores alone are not always enough once the enclosing object is
+  // about to die; the barrier makes the writes observable side effects.
+  asm volatile("" : : "r"(v.data()) : "memory");
 }
 
 ByteView slice(ByteView v, std::size_t offset, std::size_t len) {

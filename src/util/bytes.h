@@ -10,6 +10,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace mbtls {
@@ -43,8 +44,22 @@ bool constant_time_equal(ByteView a, ByteView b);
 /// XOR `b` into `a` (lengths must match).
 void xor_into(MutableByteView a, ByteView b);
 
-/// Zero a buffer (best effort against dead-store elimination).
+/// Zero a buffer. Writes through a volatile pointer and ends with a compiler
+/// barrier so the stores survive dead-store elimination even when the buffer
+/// is destroyed immediately afterwards. Key material must flow through this
+/// (or secure_wipe_object) before its owner dies; tools/mbtls-lint enforces
+/// it for annotated and key-named members.
 void secure_wipe(MutableByteView v);
+
+/// Zero an entire trivially-copyable object: round-key schedules, GHASH
+/// tables, fixed-size cipher state. Prefer secure_wipe() for byte buffers.
+template <typename T>
+void secure_wipe_object(T& obj) {
+  static_assert(std::is_trivially_copyable_v<T>, "wipe only plain state");
+  volatile unsigned char* p = reinterpret_cast<volatile unsigned char*>(&obj);
+  for (std::size_t i = 0; i < sizeof(T); ++i) p[i] = 0;
+  asm volatile("" : : "r"(&obj) : "memory");
+}
 
 /// Subview helper with bounds checking; throws std::out_of_range.
 ByteView slice(ByteView v, std::size_t offset, std::size_t len);

@@ -32,12 +32,16 @@ std::string parse_name_cn(asn1::Parser& outer) {
   while (!name.empty()) {
     asn1::Parser rdn = name.set();
     while (!rdn.empty()) {
+      // AttributeTypeAndValue ::= SEQUENCE { type OID, value ANY }
       asn1::Parser attr = rdn.sequence();
       const std::string oid = attr.oid();
       const std::string value = attr.string();
+      attr.expect_end();
       if (oid == kOidCommonName) cn = value;
     }
+    rdn.expect_end();
   }
+  name.expect_end();
   return cn;
 }
 
@@ -73,7 +77,7 @@ Certificate Certificate::parse(ByteView der) {
 
   // Capture the raw TBS bytes (tag + length + content) for signature checks.
   {
-    asn1::Parser probe(outer);  // copy
+    asn1::Parser probe(outer);  // copy  // lint: partial-read (peeks the first TLV only)
     // Re-parse manually: the TBS element is the first element of the outer
     // sequence; Element gives us only the content, so re-encode it.
     // Simpler: find content then rebuild the TLV.
@@ -83,7 +87,8 @@ Certificate Certificate::parse(ByteView der) {
 
   asn1::Parser tbs = outer.sequence();
   {
-    asn1::Parser sig_alg = outer.sequence();
+    // AlgorithmIdentifier: trailing parameters (NULL for RSA) are ignored.
+    asn1::Parser sig_alg = outer.sequence();  // lint: partial-read
     cert.sig_oid_ = sig_alg.oid();
   }
   cert.signature_ = outer.bit_string();
@@ -94,10 +99,12 @@ Certificate Certificate::parse(ByteView der) {
   if (tbs.peek_tag() == asn1::context_tag(0)) {
     asn1::Parser version = tbs.context(0);
     version.integer();  // 2 = v3; tolerated but unchecked beyond well-formedness
+    version.expect_end();
   }
   cert.info_.serial = tbs.integer();
   {
-    asn1::Parser inner_alg = tbs.sequence();  // signature algorithm (repeated)
+    // Repeated AlgorithmIdentifier; parameters ignored as above.
+    asn1::Parser inner_alg = tbs.sequence();  // lint: partial-read
     inner_alg.oid();
   }
   cert.info_.issuer_cn = parse_name_cn(tbs);
@@ -105,6 +112,7 @@ Certificate Certificate::parse(ByteView der) {
     asn1::Parser validity = tbs.sequence();
     cert.info_.not_before = validity.utc_time();
     cert.info_.not_after = validity.utc_time();
+    validity.expect_end();
   }
   cert.info_.subject_cn = parse_name_cn(tbs);
   {
@@ -118,7 +126,9 @@ Certificate Certificate::parse(ByteView der) {
   if (!tbs.empty() && tbs.peek_tag() == asn1::context_tag(3)) {
     asn1::Parser ext_wrapper = tbs.context(3);
     asn1::Parser exts = ext_wrapper.sequence();
+    ext_wrapper.expect_end();
     while (!exts.empty()) {
+      // Extension ::= SEQUENCE { extnID, critical DEFAULT FALSE, extnValue }
       asn1::Parser ext = exts.sequence();
       const std::string oid = ext.oid();
       bool critical = false;
@@ -127,20 +137,30 @@ Certificate Certificate::parse(ByteView der) {
       }
       (void)critical;
       const ByteView value = ext.octet_string();
+      ext.expect_end();
       if (oid == kOidBasicConstraints) {
         asn1::Parser bc(value);
-        asn1::Parser seq = bc.sequence();
+        // BasicConstraints: a trailing pathLenConstraint may follow the
+        // cA flag; we take the flag and ignore the rest.
+        asn1::Parser seq = bc.sequence();  // lint: partial-read
+        bc.expect_end();
         if (!seq.empty()) cert.info_.is_ca = seq.boolean();
       } else if (oid == kOidSubjectAltName) {
         asn1::Parser san(value);
         asn1::Parser names = san.sequence();
+        san.expect_end();
         while (!names.empty()) {
           const asn1::Element name = names.any();
           if (name.tag == kDnsNameTag) cert.info_.san_dns.push_back(to_string(name.content));
         }
+        names.expect_end();
       }
     }
+    exts.expect_end();
   }
+  // TBS trailing fields (issuer/subjectUniqueID) are not produced by this
+  // library's issuer and are rejected rather than silently skipped.
+  tbs.expect_end();
   return cert;
 }
 

@@ -34,17 +34,23 @@ std::optional<PublicKey> PublicKey::from_spki(ByteView der) {
     const std::string oid = alg.oid();
     if (oid == kOidRsaEncryption) {
       alg.null();
+      alg.expect_end();
       const Bytes key_bits = spki.bit_string();
+      spki.expect_end();
       asn1::Parser kp(key_bits);
       asn1::Parser seq = kp.sequence();
+      kp.expect_end();
       rsa::RsaPublicKey pub;
       pub.n = seq.integer();
       pub.e = seq.integer();
+      seq.expect_end();
       return PublicKey(std::move(pub));
     }
     if (oid == kOidEcPublicKey) {
       if (alg.oid() != kOidPrime256v1) return std::nullopt;
+      alg.expect_end();
       const Bytes point_bytes = spki.bit_string();
+      spki.expect_end();
       const auto point = ec::P256::instance().decode_point(point_bytes);
       if (!point) return std::nullopt;
       return PublicKey(*point);

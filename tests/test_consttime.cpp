@@ -1,0 +1,199 @@
+// Statistical (dudect-style) timing tests for the constant-time primitives:
+// constant_time_equal() and AES-GCM tag verification must not leak *where*
+// two buffers differ through their running time.
+//
+// Method: both input classes share one probe buffer — the differing byte is
+// XOR-flipped in place outside the timed region, so the classes differ only
+// in data, never in allocation or alignment. Samples are interleaved A/B,
+// the slowest tail is dropped (scheduler noise is one-sided), and Welch's
+// t-statistic decides: |t| below the threshold means the classes are
+// statistically indistinguishable at this sample size. As a positive
+// control, the variable-time equal() must show a very large |t| for the same
+// classes — proving the harness can actually detect an early-exit leak.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "util/bytes.h"
+
+namespace mbtls {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A sampler prepares its input class, runs the operation `batch` times, and
+// returns the elapsed nanoseconds for the batch.
+using Sampler = std::function<double()>;
+
+// Sentinel for "no fault injected" (the equal-inputs class).
+constexpr std::size_t kNoFlip = static_cast<std::size_t>(-1);
+
+double time_batch(const std::function<void()>& op, int batch) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < batch; ++i) op();
+  const auto t1 = Clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+/// Interleaved A/B measurement -> Welch's t-statistic on trimmed samples.
+double welch_t(const Sampler& sample_a, const Sampler& sample_b, int samples,
+               double keep_fraction = 0.8) {
+  std::vector<double> a, b;
+  a.reserve(static_cast<std::size_t>(samples));
+  b.reserve(static_cast<std::size_t>(samples));
+  // Warm caches and branch predictors before measuring.
+  sample_a();
+  sample_b();
+  for (int i = 0; i < samples; ++i) {
+    a.push_back(sample_a());
+    b.push_back(sample_b());
+  }
+  auto trim = [&](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    v.resize(static_cast<std::size_t>(static_cast<double>(v.size()) * keep_fraction));
+  };
+  trim(a);
+  trim(b);
+  auto mean_var = [](const std::vector<double>& v) {
+    double mean = 0;
+    for (double x : v) mean += x;
+    mean /= static_cast<double>(v.size());
+    double var = 0;
+    for (double x : v) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(v.size() - 1);
+    return std::pair<double, double>(mean, var);
+  };
+  const auto [ma, va] = mean_var(a);
+  const auto [mb, vb] = mean_var(b);
+  const double denom =
+      std::sqrt(va / static_cast<double>(a.size()) + vb / static_cast<double>(b.size()));
+  if (denom == 0) return 0;
+  return (ma - mb) / denom;
+}
+
+/// Builds a sampler for comparing `base` against the shared `probe` buffer
+/// with a fault injected at `flip_pos` (or no fault when flip_pos is npos).
+/// The flip is undone after timing, so both classes reuse identical memory.
+template <typename Compare>
+Sampler flip_sampler(const Bytes& base, Bytes& probe, std::size_t flip_pos,
+                     Compare compare, volatile bool& sink, int batch) {
+  return [&base, &probe, flip_pos, compare, &sink, batch] {
+    if (flip_pos != kNoFlip) probe.at(flip_pos) ^= 0x5a;
+    const double ns = time_batch([&] { sink = compare(base, probe); }, batch);
+    if (flip_pos != kNoFlip) probe.at(flip_pos) ^= 0x5a;
+    return ns;
+  };
+}
+
+// dudect uses |t| > 4.5 as "leak detected"; we leave margin for shared-CI
+// noise. The positive control below shows a real leak lands far above this.
+constexpr double kLeakThreshold = 20.0;
+
+// Sanitizer instrumentation adds data-dependent overhead (shadow-memory
+// checks, interceptors), so timing comparisons under it measure the
+// instrumentation, not the code. MBTLS_SANITIZER_BUILD comes from CMake.
+#if defined(MBTLS_SANITIZER_BUILD)
+#define MBTLS_SKIP_IF_INSTRUMENTED() \
+  GTEST_SKIP() << "timing statistics are not meaningful under sanitizers"
+#else
+#define MBTLS_SKIP_IF_INSTRUMENTED() (void)0
+#endif
+
+TEST(ConstTime, EqualDoesNotLeakMismatchPosition) {
+  MBTLS_SKIP_IF_INSTRUMENTED();
+  crypto::Drbg rng("consttime-eq", 1);
+  const Bytes base = rng.bytes(4096);
+  Bytes probe = base;
+
+  const auto ct = [](const Bytes& x, const Bytes& y) { return constant_time_equal(x, y); };
+  volatile bool sink = false;
+  const double t = welch_t(flip_sampler(base, probe, 0, ct, sink, 8),
+                           flip_sampler(base, probe, base.size() - 1, ct, sink, 8),
+                           /*samples=*/1500);
+  (void)sink;
+  EXPECT_LT(std::fabs(t), kLeakThreshold)
+      << "constant_time_equal timing depends on mismatch position, t=" << t;
+}
+
+TEST(ConstTime, EqualDoesNotLeakMatchVsMismatch) {
+  MBTLS_SKIP_IF_INSTRUMENTED();
+  crypto::Drbg rng("consttime-eq2", 2);
+  const Bytes base = rng.bytes(4096);
+  Bytes probe = base;
+
+  const auto ct = [](const Bytes& x, const Bytes& y) { return constant_time_equal(x, y); };
+  volatile bool sink = false;
+  const double t = welch_t(flip_sampler(base, probe, kNoFlip, ct, sink, 8),
+                           flip_sampler(base, probe, 0, ct, sink, 8),
+                           /*samples=*/1500);
+  (void)sink;
+  EXPECT_LT(std::fabs(t), kLeakThreshold)
+      << "constant_time_equal timing distinguishes equal from unequal, t=" << t;
+}
+
+TEST(ConstTime, PositiveControlVariableTimeEqualLeaks) {
+  MBTLS_SKIP_IF_INSTRUMENTED();
+  // Proves the harness detects leaks: the early-exit equal() must show a
+  // massive timing difference between first-byte and last-byte mismatches.
+  crypto::Drbg rng("consttime-ctrl", 3);
+  const Bytes base = rng.bytes(4096);
+  Bytes probe = base;
+
+  const auto vt = [](const Bytes& x, const Bytes& y) { return equal(x, y); };
+  volatile bool sink = false;
+  const double t = welch_t(flip_sampler(base, probe, 0, vt, sink, 8),
+                           flip_sampler(base, probe, base.size() - 1, vt, sink, 8),
+                           /*samples=*/1500);
+  (void)sink;
+  EXPECT_GT(std::fabs(t), kLeakThreshold)
+      << "harness failed to detect a deliberate early-exit leak, t=" << t;
+}
+
+TEST(ConstTime, GcmTagVerifyDoesNotLeakMismatchPosition) {
+  MBTLS_SKIP_IF_INSTRUMENTED();
+  crypto::Drbg rng("consttime-gcm", 4);
+  const Bytes key = rng.bytes(32);
+  const Bytes iv = rng.bytes(12);
+  const Bytes aad = rng.bytes(13);
+  const Bytes plaintext = rng.bytes(1024);
+  const crypto::AesGcm gcm(key);
+  const Bytes sealed = gcm.seal(iv, aad, plaintext);
+  ASSERT_GE(sealed.size(), 16u);
+
+  // Corrupt the first vs the last byte of the 16-byte trailing tag in a
+  // single shared buffer; both classes must fail after identical work (full
+  // GHASH + constant-time compare).
+  Bytes probe = sealed;
+  const auto open_fails = [&](std::size_t flip_pos, int batch) -> Sampler {
+    return [&gcm, &iv, &aad, &probe, flip_pos, batch] {
+      probe.at(flip_pos) ^= 0x5a;
+      volatile bool sink = false;
+      const double ns = time_batch(
+          [&] { sink = gcm.open(iv, aad, probe).has_value(); }, batch);
+      (void)sink;
+      probe.at(flip_pos) ^= 0x5a;
+      return ns;
+    };
+  };
+  {
+    probe.at(sealed.size() - 16) ^= 0x5a;
+    ASSERT_FALSE(gcm.open(iv, aad, probe).has_value());
+    probe.at(sealed.size() - 16) ^= 0x5a;
+  }
+
+  const double t = welch_t(open_fails(sealed.size() - 16, 4),
+                           open_fails(sealed.size() - 1, 4),
+                           /*samples=*/1000);
+  EXPECT_LT(std::fabs(t), kLeakThreshold)
+      << "GCM tag verification timing depends on tag mismatch position, t=" << t;
+}
+
+}  // namespace
+}  // namespace mbtls

@@ -1,0 +1,145 @@
+// Fixture tests for tools/mbtls-lint: drive the real binary over
+// tools/lint/fixtures/ and assert the exact finding set. The fixtures keep
+// their expected file:line pairs stable (documented inline), so any rule
+// regression — missed finding or new false positive — fails here.
+//
+// MBTLS_LINT_BIN and MBTLS_LINT_FIXTURES are injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::vector<std::string> lines;  // stdout, one finding per line
+
+  bool has(const std::string& file_suffix, int line, const std::string& rule) const {
+    const std::string needle =
+        file_suffix + ":" + std::to_string(line) + ": " + rule + ":";
+    for (const auto& l : lines) {
+      if (l.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  int count_mentioning(const std::string& needle) const {
+    int n = 0;
+    for (const auto& l : lines) {
+      if (l.find(needle) != std::string::npos) ++n;
+    }
+    return n;
+  }
+};
+
+LintRun run_lint(const std::string& args) {
+  LintRun out;
+  const std::string cmd = std::string(MBTLS_LINT_BIN) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return out;
+  std::string text;
+  std::array<char, 4096> buf{};
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    text.append(buf.data(), got);
+  }
+  const int status = pclose(pipe);
+  out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::istringstream iss(text);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (!line.empty()) out.lines.push_back(line);
+  }
+  return out;
+}
+
+const std::string kFixtures = MBTLS_LINT_FIXTURES;
+
+TEST(LintRules, BadFixturesTripEveryRuleAtDocumentedLines) {
+  const LintRun run = run_lint(kFixtures);
+  ASSERT_EQ(run.exit_code, 1) << "violations must exit nonzero";
+
+  // secret-compare: memcmp, variable-time equal(), operator== on secrets.
+  EXPECT_TRUE(run.has("src/crypto/bad_compare.cpp", 11, "secret-compare"));
+  EXPECT_TRUE(run.has("src/crypto/bad_compare.cpp", 17, "secret-compare"));
+  EXPECT_TRUE(run.has("src/crypto/bad_compare.cpp", 21, "secret-compare"));
+
+  // secret-wipe: annotated local and name-pattern member, never wiped.
+  EXPECT_TRUE(run.has("src/crypto/bad_wipe.cpp", 9, "secret-wipe"));
+  EXPECT_TRUE(run.has("src/crypto/bad_wipe.cpp", 14, "secret-wipe"));
+
+  // partial-read: Reader/Parser without expect_end() or annotation.
+  EXPECT_TRUE(run.has("src/tls/bad_parser.cpp", 24, "partial-read"));
+  EXPECT_TRUE(run.has("src/tls/bad_parser.cpp", 29, "partial-read"));
+
+  // banned-fn: strcpy, sprintf, raw new[] in parser code, rand.
+  EXPECT_TRUE(run.has("src/tls/bad_parser.cpp", 33, "banned-fn"));
+  EXPECT_TRUE(run.has("src/tls/bad_parser.cpp", 35, "banned-fn"));
+  EXPECT_TRUE(run.has("src/tls/bad_parser.cpp", 40, "banned-fn"));
+  EXPECT_TRUE(run.has("src/tls/bad_parser.cpp", 44, "banned-fn"));
+
+  // nondet-test: srand + wall-clock seed, rand(), random_device.
+  EXPECT_TRUE(run.has("tests/bad_nondet.cpp", 10, "nondet-test"));
+  EXPECT_TRUE(run.has("tests/bad_nondet.cpp", 11, "nondet-test"));
+  EXPECT_TRUE(run.has("tests/bad_nondet.cpp", 15, "nondet-test"));
+  // srand/rand in tests also trip banned-fn.
+  EXPECT_TRUE(run.has("tests/bad_nondet.cpp", 10, "banned-fn"));
+  EXPECT_TRUE(run.has("tests/bad_nondet.cpp", 11, "banned-fn"));
+
+  // The exact finding multiset: 10 on time(nullptr) doubles the srand line.
+  EXPECT_EQ(run.count_mentioning("bad_compare.cpp"), 3);
+  EXPECT_EQ(run.count_mentioning("bad_wipe.cpp"), 2);
+  EXPECT_EQ(run.count_mentioning("bad_parser.cpp"), 6);
+  EXPECT_EQ(run.count_mentioning("bad_nondet.cpp"), 6);
+  EXPECT_EQ(static_cast<int>(run.lines.size()), 17);
+}
+
+TEST(LintRules, GoodFixturesAreClean) {
+  for (const char* rel : {"src/crypto/good_compare.cpp", "src/crypto/good_wipe.cpp",
+                          "src/tls/good_parser.cpp", "tests/good_det.cpp"}) {
+    const LintRun run = run_lint(kFixtures + "/" + rel);
+    EXPECT_EQ(run.exit_code, 0) << rel;
+    EXPECT_TRUE(run.lines.empty()) << rel << " produced: " << run.lines.front();
+  }
+}
+
+TEST(LintRules, NoFindingsOnGoodTwinsInFullRun) {
+  const LintRun run = run_lint(kFixtures);
+  EXPECT_EQ(run.count_mentioning("good_compare.cpp"), 0);
+  EXPECT_EQ(run.count_mentioning("good_wipe.cpp"), 0);
+  EXPECT_EQ(run.count_mentioning("good_parser.cpp"), 0);
+  EXPECT_EQ(run.count_mentioning("good_det.cpp"), 0);
+}
+
+TEST(LintRules, RuleFilterRestrictsOutput) {
+  const LintRun run = run_lint("--rule banned-fn " + kFixtures);
+  ASSERT_EQ(run.exit_code, 1);
+  EXPECT_EQ(static_cast<int>(run.lines.size()), 6);
+  for (const auto& l : run.lines) {
+    EXPECT_NE(l.find(" banned-fn: "), std::string::npos) << l;
+  }
+}
+
+TEST(LintRules, ListRulesNamesTheCatalogue) {
+  const LintRun run = run_lint("--list-rules");
+  ASSERT_EQ(run.exit_code, 0);
+  std::string all;
+  for (const auto& l : run.lines) all += l + "\n";
+  for (const char* rule : {"secret-compare", "secret-wipe", "banned-fn",
+                           "partial-read", "nondet-test"}) {
+    EXPECT_NE(all.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(LintRules, UnknownRuleIsAUsageError) {
+  const LintRun run = run_lint("--rule no-such-rule " + kFixtures);
+  EXPECT_EQ(run.exit_code, 2);
+}
+
+}  // namespace

@@ -14,7 +14,7 @@ TEST(Mbtls, NoMiddleboxesBehavesLikeTls) {
   const auto id = make_identity("plain.example");
   ClientSession client(client_options("plain.example"));
   ServerSession server(server_options(id));
-  Chain chain{.client = &client, .server = &server};
+  Chain chain{.client = &client, .middleboxes = {}, .server = &server};
   client.start();
   chain.pump();
   ASSERT_TRUE(client.established()) << client.error_message();

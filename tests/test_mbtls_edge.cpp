@@ -73,7 +73,7 @@ TEST_P(MbtlsChainSweep, HandshakeAndBidirectionalData) {
   ClientSession client(client_options("sweep.example"));
   ServerSession server(server_options(id));
   std::vector<std::unique_ptr<Middlebox>> boxes;
-  Chain chain{.client = &client, .server = &server};
+  Chain chain{.client = &client, .middleboxes = {}, .server = &server};
   for (int i = 0; i < n_client + n_server; ++i) {
     auto opts = middlebox_options("m" + std::to_string(i) + ".example",
                                   i < n_client ? Middlebox::Side::kClientSide

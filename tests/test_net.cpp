@@ -204,7 +204,7 @@ TEST_F(TcpFixture, HandshakeTakesOneRtt) {
 TEST_F(TcpFixture, DataRoundTrip) {
   std::string received_by_server, received_by_client;
   server->listen(443, [&](Socket& s) {
-    s.on_data = [&, &s](ByteView d) {
+    s.on_data = [&](ByteView d) {
       received_by_server += to_string(d);
       s.send(to_bytes(std::string_view("pong")));
     };

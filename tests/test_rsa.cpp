@@ -86,7 +86,9 @@ TEST(Rsa, DecryptRejectsTamperedCiphertext) {
   // Either padding fails (nullopt) or the value exceeds n (nullopt); in the
   // rare case padding survives, the plaintext must differ.
   const auto back = rsa_decrypt(key, ct);
-  if (back) EXPECT_NE(*back, rng.bytes(16));
+  if (back) {
+    EXPECT_NE(*back, rng.bytes(16));
+  }
 }
 
 TEST(Rsa, EncryptRejectsOversizedPlaintext) {

@@ -197,7 +197,8 @@ TEST(X509, NonCaCannotAnchor) {
   const Certificate fake_anchor = ecdsa_ca().issue(fake, rng());
   const Certificate anchors[] = {fake_anchor};
   const Certificate chain[] = {leaf};
-  VerifyOptions opts{.now = 1500000000};
+  VerifyOptions opts;
+  opts.now = 1500000000;
   EXPECT_EQ(verify_chain(chain, anchors, opts), VerifyStatus::kUnknownIssuer);
 }
 

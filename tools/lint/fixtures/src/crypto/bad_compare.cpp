@@ -1,0 +1,24 @@
+// Lint fixture: every comparison in this file must trip `secret-compare`.
+// The expected findings are asserted line-by-line in tests/test_lint_rules.cpp
+// — keep line numbers stable when editing.
+#include <cstring>
+
+namespace fixture {
+
+using Byte = unsigned char;
+
+bool check_tag(const Byte* mac_key, const Byte* expected, unsigned long n) {
+  return std::memcmp(mac_key, expected, n) == 0;  // line 11: memcmp on secrets
+}
+
+bool equal(const Byte* a, const Byte* b);
+
+bool check_session(const Byte* session_secret, const Byte* other) {
+  return equal(session_secret, other);  // line 17: variable-time equal()
+}
+
+bool check_master(unsigned long derived_key, unsigned long expected) {
+  return derived_key == expected;  // line 21: == on a secret-named value
+}
+
+}  // namespace fixture

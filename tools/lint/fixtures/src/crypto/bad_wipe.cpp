@@ -1,0 +1,17 @@
+// Lint fixture: un-wiped secrets must trip `secret-wipe`.
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<unsigned char>;
+
+struct Annotated {
+  Bytes session_material;  // lint: secret  (line 9: annotated, never wiped)
+};
+
+class NamePattern {
+ private:
+  Bytes master_key_;  // line 14: key-named member, never wiped
+};
+
+}  // namespace fixture

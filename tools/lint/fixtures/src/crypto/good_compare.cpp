@@ -1,0 +1,15 @@
+// Lint fixture: the clean twin of bad_compare.cpp — no rule may fire here.
+namespace fixture {
+
+using Byte = unsigned char;
+
+bool constant_time_equal(const Byte* a, const Byte* b, unsigned long n);
+
+bool check_tag(const Byte* mac_key, const Byte* expected, unsigned long n) {
+  return constant_time_equal(mac_key, expected, n);
+}
+
+// Length metadata about secrets is public and may use fast compares.
+bool check_len(unsigned long key_len) { return key_len == 32; }
+
+}  // namespace fixture

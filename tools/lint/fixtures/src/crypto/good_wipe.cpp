@@ -1,0 +1,28 @@
+// Lint fixture: the clean twin of bad_wipe.cpp — no rule may fire here.
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<unsigned char>;
+void secure_wipe(Bytes& v);
+
+struct Annotated {
+  Bytes session_material;  // lint: secret
+  ~Annotated() { secure_wipe(session_material); }
+  Annotated() = default;
+  Annotated(const Annotated&) = default;
+  Annotated& operator=(const Annotated&) = default;
+};
+
+class NamePattern {
+ public:
+  ~NamePattern() { secure_wipe(master_key_); }
+  NamePattern() = default;
+  NamePattern(const NamePattern&) = default;
+  NamePattern& operator=(const NamePattern&) = default;
+
+ private:
+  Bytes master_key_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Lint fixture: decode paths that never check for trailing bytes, plus
+// banned functions — trips `partial-read` and `banned-fn`.
+#include <cstdio>
+#include <cstring>
+
+namespace fixture {
+
+struct View {};
+
+class Reader {
+ public:
+  explicit Reader(View data);
+  unsigned u8();
+  void expect_end() const;
+};
+
+class Parser {
+ public:
+  explicit Parser(View data);
+  void expect_end() const;
+};
+
+unsigned decode_one(View data) {
+  Reader r(data);  // line 24: no expect_end on this Reader
+  return r.u8();
+}
+
+void decode_two(View data) {
+  Parser p(data);  // line 29: no expect_end on this Parser
+}
+
+void copy_name(char* dst, const char* src) {
+  strcpy(dst, src);  // line 33: banned function
+  char buf[16];
+  sprintf(buf, "%s", src);  // line 35: banned function
+  (void)buf;
+}
+
+unsigned char* make_buffer(unsigned long n) {
+  return new unsigned char[n];  // line 40: raw new[] in parser code
+}
+
+int weak_random() {
+  return rand();  // line 44: banned function
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Lint fixture: the clean twin of bad_parser.cpp — no rule may fire here.
+#include <vector>
+
+namespace fixture {
+
+struct View {};
+
+class Reader {
+ public:
+  explicit Reader(View data);
+  unsigned u8();
+  void expect_end() const;
+};
+
+unsigned decode_checked(View data) {
+  Reader r(data);
+  const unsigned v = r.u8();
+  r.expect_end();
+  return v;
+}
+
+unsigned decode_prefix(View data) {
+  Reader r(data);  // lint: partial-read (only the header is needed here)
+  return r.u8();
+}
+
+std::vector<unsigned char> make_buffer(unsigned long n) {
+  return std::vector<unsigned char>(n);
+}
+
+}  // namespace fixture

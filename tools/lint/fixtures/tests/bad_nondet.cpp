@@ -1,0 +1,19 @@
+// Lint fixture: nondeterministic test inputs — trips `nondet-test` (and
+// `banned-fn` for the rand/srand calls).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int wall_clock_seed() {
+  srand(static_cast<unsigned>(time(nullptr)));  // line 10: srand + time(nullptr)
+  return rand();                                // line 11: rand()
+}
+
+unsigned hardware_seed() {
+  std::random_device rd;  // line 15: random_device
+  return rd();
+}
+
+}  // namespace fixture

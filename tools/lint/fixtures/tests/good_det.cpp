@@ -1,0 +1,15 @@
+// Lint fixture: the clean twin of bad_nondet.cpp — deterministic seeding, no
+// rule may fire here.
+namespace fixture {
+
+struct Drbg {
+  Drbg(const char* label, unsigned long long seed);
+  unsigned long long u64();
+};
+
+unsigned long long fixed_seed() {
+  Drbg rng("lint-fixture", 7);
+  return rng.u64();
+}
+
+}  // namespace fixture

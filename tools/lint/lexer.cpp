@@ -1,0 +1,155 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace mbtls::lint {
+
+namespace {
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character punctuators we care to keep atomic, longest first.
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "==", "!=", "<=", ">=", "&&",
+    "||",  "<<",  ">>",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++",  "--",
+};
+
+// Record the directives of a `// lint: a, b` comment body into `out`.
+void parse_lint_comment(const std::string& comment, int line, LexedFile& out) {
+  const std::string tag = "lint:";
+  std::size_t pos = comment.find(tag);
+  if (pos == std::string::npos) return;
+  pos += tag.size();
+  while (pos < comment.size()) {
+    while (pos < comment.size() && (comment[pos] == ' ' || comment[pos] == ',')) ++pos;
+    std::size_t end = pos;
+    while (end < comment.size() && comment[end] != ',' && comment[end] != ' ' &&
+           comment[end] != '\n')
+      ++end;
+    if (end > pos) out.annotations[line].insert(comment.substr(pos, end - pos));
+    pos = end;
+  }
+}
+
+}  // namespace
+
+LexedFile lex(std::string path, const std::string& src) {
+  LexedFile out;
+  out.path = std::move(path);
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokenKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment: capture for `// lint:` directives, otherwise skip.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      parse_lint_comment(src.substr(i + 2, end - i - 2), line, out);
+      i = end;
+      continue;
+    }
+    // Block comment (may span lines; annotations only honored line-by-line).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honoring continuations).
+    // Rules never need to see inside #include / #pragma / #define.
+    if (c == '#') {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = src.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k)
+        if (src[k] == '\n') ++line;
+      push(TokenKind::kString, "");
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      push(quote == '"' ? TokenKind::kString : TokenKind::kChar, "");
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      push(TokenKind::kIdentifier, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (is_ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                         src[j - 1] == 'P'))))
+        ++j;
+      push(TokenKind::kNumber, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Punctuation: longest match against the multi-char table.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::string(p).size();
+      if (src.compare(i, len, p) == 0) {
+        push(TokenKind::kPunct, p);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(TokenKind::kPunct, std::string(1, c));
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace mbtls::lint

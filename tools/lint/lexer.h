@@ -1,0 +1,50 @@
+// Minimal C++ lexer for mbtls-lint.
+//
+// Produces a flat token stream (identifiers, numbers, literals, punctuation)
+// with line numbers, plus the set of `// lint: <directive>` annotations per
+// line. This is deliberately NOT a full C++ front end: the lint rules are
+// written against token shapes that are unambiguous in this codebase
+// (declarations like `Reader r(...)`, calls like `memcmp(...)`), which a
+// token stream resolves reliably without a parse tree.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mbtls::lint {
+
+enum class TokenKind {
+  kIdentifier,   // names and keywords (the rules tell them apart)
+  kNumber,       // integer / float literals, any base
+  kString,       // "..." including raw strings; content not preserved
+  kChar,         // '...'
+  kPunct,        // operators and punctuation, longest-match (e.g. "==", "->")
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier/punct spelling; literals collapse to "" text
+  int line = 0;
+};
+
+/// One source file, lexed. `annotations` maps line -> the set of directives
+/// from `// lint: a, b` comments on that line (comma separated, trimmed).
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::map<int, std::set<std::string>> annotations;
+
+  bool has_annotation(int line, const std::string& directive) const {
+    auto it = annotations.find(line);
+    return it != annotations.end() && it->second.count(directive) > 0;
+  }
+};
+
+/// Lex `source`. Comments and preprocessor line contents are skipped, except
+/// that `// lint:` comment annotations are recorded.
+LexedFile lex(std::string path, const std::string& source);
+
+}  // namespace mbtls::lint

@@ -1,0 +1,126 @@
+// mbtls-lint: repo-specific secret-hygiene static analyzer.
+//
+// Usage:
+//   mbtls-lint [--rule <id>]... [--list-rules] <file-or-dir>...
+//
+// Directories are walked recursively for C++ sources; subdirectories named
+// "fixtures" or starting with "build" are skipped so `mbtls-lint src tests`
+// from the repo root never scans build trees or the linter's own known-bad
+// fixture files (point it AT the fixtures dir to lint them).
+//
+// Output is one diagnostic per line, `file:line: rule-id: message`, sorted.
+// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace fs = std::filesystem;
+using namespace mbtls::lint;
+
+namespace {
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".hpp" || ext == ".cc";
+}
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "fixtures" || name.rfind("build", 0) == 0 || name == ".git";
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& out) {
+  if (fs::is_regular_file(root)) {
+    if (is_cpp_source(root)) out.push_back(root);
+    return;
+  }
+  if (!fs::is_directory(root)) throw std::runtime_error("no such path: " + root.string());
+  fs::recursive_directory_iterator it(root), end;
+  while (it != end) {
+    if (it->is_directory() && skip_dir(it->path())) {
+      it.disable_recursion_pending();
+    } else if (it->is_regular_file() && is_cpp_source(it->path())) {
+      out.push_back(it->path());
+    }
+    ++it;
+  }
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> only_rules;
+  std::vector<fs::path> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : rule_catalogue()) std::cout << r.id << ": " << r.summary << "\n";
+      return 0;
+    }
+    if (arg == "--rule") {
+      if (i + 1 >= argc) {
+        std::cerr << "mbtls-lint: --rule needs an argument\n";
+        return 2;
+      }
+      only_rules.emplace_back(argv[++i]);
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mbtls-lint: unknown option " << arg << "\n";
+      return 2;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: mbtls-lint [--rule <id>]... [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+  for (const auto& id : only_rules) {
+    bool known = false;
+    for (const auto& r : rule_catalogue()) known = known || r.id == id;
+    if (!known) {
+      std::cerr << "mbtls-lint: unknown rule '" << id << "' (see --list-rules)\n";
+      return 2;
+    }
+  }
+
+  try {
+    std::vector<fs::path> paths;
+    for (const auto& r : roots) collect(r, paths);
+
+    std::vector<LexedFile> files;
+    files.reserve(paths.size());
+    // generic_string() so diagnostics (and the path-based rule selection)
+    // always see forward slashes.
+    for (const auto& p : paths) files.push_back(lex(p.generic_string(), read_file(p)));
+
+    const std::vector<Finding> findings = run_rules(files, only_rules);
+    for (const auto& f : findings)
+      std::cout << f.file << ":" << f.line << ": " << f.rule << ": " << f.message << "\n";
+    if (!findings.empty()) {
+      std::cerr << "mbtls-lint: " << findings.size() << " violation"
+                << (findings.size() == 1 ? "" : "s") << " in " << files.size() << " files\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "mbtls-lint: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,51 @@
+// Lint rules for the mbTLS codebase. See DESIGN.md "Tooling & invariants".
+//
+// Rules are written against the token stream from lexer.h plus per-line
+// `// lint:` annotations. Which rules apply to a file is decided from its
+// path (the repo layout is part of the contract: src/crypto is secret-
+// bearing, src/asn1 is a parser, tests/ must be deterministic, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace mbtls::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+  bool operator==(const Finding& o) const {
+    return file == o.file && line == o.line && rule == o.rule && message == o.message;
+  }
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The rule catalogue (for --list-rules and the fixture tests).
+const std::vector<RuleInfo>& rule_catalogue();
+
+/// Run every rule over the lexed files. Cross-file state (header/impl
+/// pairing for the wipe rule) is resolved inside, which is why this takes
+/// the whole batch rather than one file at a time. `only_rules`, when
+/// non-empty, restricts the run to those rule ids.
+std::vector<Finding> run_rules(const std::vector<LexedFile>& files,
+                               const std::vector<std::string>& only_rules);
+
+/// True if `identifier` names likely secret material (key/secret/ikm/...),
+/// exposed for unit testing.
+bool is_secret_name(const std::string& identifier);
+
+}  // namespace mbtls::lint
