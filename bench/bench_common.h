@@ -96,4 +96,80 @@ inline int trials_arg(int argc, char** argv, int fallback) {
   return fallback;
 }
 
+/// Output path from argv ("--json PATH"); empty when not requested.
+inline std::string json_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+/// Minimal ordered JSON emitter for the BENCH_*.json files every bench
+/// binary writes under --json. Supports objects, arrays, numbers, and
+/// strings — scripts/bench.sh chains these into the perf-regression record,
+/// so the shape must stay machine-stable across PRs.
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  Json& add(const std::string& key, double v) {
+    sep();
+    text_ += quote(key) + ":" + num(v);
+    return *this;
+  }
+  Json& add(const std::string& key, const std::string& v) {
+    sep();
+    text_ += quote(key) + ":" + quote(v);
+    return *this;
+  }
+  Json& add(const std::string& key, const Json& v) {
+    sep();
+    text_ += quote(key) + ":" + v.str();
+    return *this;
+  }
+  Json& push(const Json& v) {
+    sep();
+    text_ += v.str();
+    return *this;
+  }
+
+  std::string str() const { return text_ + (kind_ == Kind::kObject ? "}" : "]"); }
+
+  /// Write to `path` with a trailing newline; returns false on I/O failure.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const std::string body = str() + "\n";
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  enum class Kind { kObject, kArray };
+  explicit Json(Kind kind) : kind_(kind), text_(kind == Kind::kObject ? "{" : "[") {}
+
+  void sep() {
+    if (!first_) text_ += ",";
+    first_ = false;
+  }
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+  static std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  Kind kind_;
+  bool first_ = true;
+  std::string text_;
+};
+
 }  // namespace mbtls::bench

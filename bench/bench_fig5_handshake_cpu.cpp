@@ -207,7 +207,8 @@ Sample run_split(const std::string& kx, std::uint64_t seed) {
   return {tc.ms(), tm.ms(), ts.ms()};
 }
 
-void report(const std::string& config, const std::vector<Sample>& samples) {
+Json report(const std::string& kx, const std::string& config,
+            const std::vector<Sample>& samples) {
   std::vector<double> c, m, s;
   for (const auto& sample : samples) {
     c.push_back(sample.client_ms);
@@ -217,9 +218,18 @@ void report(const std::string& config, const std::vector<Sample>& samples) {
   const Stats sc = stats_of(c), sm = stats_of(m), ss = stats_of(s);
   std::printf("%-28s  client %7.3f ±%5.3f ms   mbox %7.3f ±%5.3f ms   server %7.3f ±%5.3f ms\n",
               config.c_str(), sc.mean, sc.ci95, sm.mean, sm.ci95, ss.mean, ss.ci95);
+  return Json::object()
+      .add("kx", kx)
+      .add("config", config)
+      .add("client_ms", sc.mean)
+      .add("client_ci95", sc.ci95)
+      .add("mbox_ms", sm.mean)
+      .add("mbox_ci95", sm.ci95)
+      .add("server_ms", ss.mean)
+      .add("server_ci95", ss.ci95);
 }
 
-void run_kx(const std::string& kx, int trials) {
+void run_kx(const std::string& kx, int trials, Json& rows) {
   std::printf("--- key exchange: %s (RSA-2048 certificates) ---\n", kx.c_str());
   struct Case {
     std::string name;
@@ -237,7 +247,7 @@ void run_kx(const std::string& kx, int trials) {
   for (const auto& c : cases) {
     std::vector<Sample> samples;
     for (int t = 0; t < trials; ++t) samples.push_back(c.run(static_cast<std::uint64_t>(t) * 100));
-    report(c.name, samples);
+    rows.push(report(kx, c.name, samples));
   }
 }
 
@@ -247,6 +257,7 @@ void run_kx(const std::string& kx, int trials) {
 int main(int argc, char** argv) {
   using namespace mbtls::bench;
   const int trials = trials_arg(argc, argv, 100);
+  const std::string json_path = json_arg(argc, argv);
   std::printf("=== Figure 5: Handshake CPU microbenchmarks (%d trials, mean ± 95%% CI) ===\n",
               trials);
   // One-time setup outside the timers: DHE group generation, CA creation,
@@ -257,12 +268,24 @@ int main(int argc, char** argv) {
   run_split("ECDHE-RSA", 17);
   run_split("DHE-RSA", 18);
   std::printf("Time spent computing per handshake, per party; network wait excluded.\n\n");
-  run_kx("ECDHE-RSA", trials);
+  Json rows = Json::array();
+  run_kx("ECDHE-RSA", trials, rows);
   std::printf("\n");
-  run_kx("DHE-RSA", trials);
+  run_kx("DHE-RSA", trials, rows);
   std::printf(
       "\nPaper shape to check: TLS ~= mbTLS without middleboxes; middlebox cheaper under\n"
       "mbTLS than split TLS (one handshake, not two); server cost flat vs client-side\n"
       "middleboxes, + ~one client-handshake (~20%%) per server-side middlebox.\n");
+  if (!json_path.empty()) {
+    const Json doc = Json::object()
+                         .add("bench", std::string("fig5_handshake_cpu"))
+                         .add("trials", static_cast<double>(trials))
+                         .add("rows", rows);
+    if (!doc.write_file(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -63,6 +63,11 @@ double run_config(const Config& config, std::size_t buffer_size, double seconds_
 
   std::uint64_t bytes_moved = 0;
   volatile std::uint64_t sink = 0;
+  // Reused across every record: `scratch` holds the inbound body (decrypted
+  // in place), `out` receives the re-sealed wire record. Capacity is
+  // retained, so the steady-state reprotect path performs no allocation —
+  // the same discipline Middlebox::reprotect_c2s uses.
+  Bytes scratch, out;
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + std::chrono::duration<double>(seconds_budget);
   std::size_t batch_index = 0;
@@ -73,14 +78,16 @@ double run_config(const Config& config, std::size_t buffer_size, double seconds_
     for (const auto& record : sealed) {
       auto work = [&] {
         if (config.encrypt) {
-          auto opened = pass_in.open_c2s(tls::ContentType::kApplicationData, record);
+          scratch.assign(record.begin(), record.end());
+          auto opened = pass_in.open_c2s_in_place(tls::ContentType::kApplicationData, scratch);
           if (!opened) std::abort();
-          const Bytes resealed = pass_out.seal_c2s(tls::ContentType::kApplicationData, *opened);
-          sink = sink + resealed.size();
+          out.clear();
+          pass_out.seal_c2s_into(tls::ContentType::kApplicationData, *opened, out);
+          sink = sink + out.size();
         } else {
           // Plain forwarding: touch the bytes (copy) like a forwarding path.
-          Bytes copy(record.begin(), record.end());
-          sink = sink + copy.size();
+          scratch.assign(record.begin(), record.end());
+          sink = sink + scratch.size();
         }
       };
       sgx::burn_cycles(kIoCostIterations);  // recv()/send() handling
@@ -108,6 +115,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--seconds") budget = std::atof(argv[i + 1]);
   }
+  const std::string json_path = json_arg(argc, argv);
   const std::size_t sizes[] = {512, 1024, 2048, 4096, 8192, 12288};
   const Config configs[] = {
       {false, false, "No Encryption + No Enclave"},
@@ -120,10 +128,16 @@ int main(int argc, char** argv) {
   std::printf("%-28s", "config \\ buffer");
   for (const auto s : sizes) std::printf("%8zuB", s);
   std::printf("\n");
+  Json rows = Json::array();
   for (const auto& config : configs) {
     std::printf("%-28s", config.name);
     for (const auto size : sizes) {
-      std::printf("%9.2f", run_config(config, size, budget));
+      const double gbps = run_config(config, size, budget);
+      std::printf("%9.2f", gbps);
+      rows.push(Json::object()
+                    .add("config", std::string(config.name))
+                    .add("buffer_bytes", static_cast<double>(size))
+                    .add("gbps", gbps));
     }
     std::printf("\n");
   }
@@ -131,5 +145,14 @@ int main(int argc, char** argv) {
       "\nPaper shape to check: enclave vs no-enclave nearly indistinguishable within each\n"
       "encryption mode; the encryption rows plateau at the AES-GCM compute bound while\n"
       "the forwarding rows keep scaling with buffer size.\n");
+  if (!json_path.empty()) {
+    const Json doc =
+        Json::object().add("bench", std::string("fig7_sgx_throughput")).add("rows", rows);
+    if (!doc.write_file(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

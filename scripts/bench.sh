@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Perf-regression harness: build the bench binaries (Release) and emit the
+# machine-readable benchmark record.
+#
+#   scripts/bench.sh                 # full run -> BENCH_micro.json,
+#                                    #            BENCH_fig5.json,
+#                                    #            BENCH_fig7.json in repo root
+#   scripts/bench.sh --quick         # tiny budgets (CI / smoke)
+#   scripts/bench.sh --out DIR       # write the JSON files elsewhere
+#
+# bench_microcrypto additionally enforces the fast-vs-reference speedup
+# floors (p256 mul_base >= 3x, AES-GCM seal >= 1.5x), so a perf regression
+# fails this script. The JSON files in the repo root are the committed
+# baseline; re-run this script and commit the diff when the crypto changes.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+out_dir="$repo_root"
+quick=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick=1; shift ;;
+    --out) out_dir="$2"; shift 2 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--out DIR]" >&2; exit 2 ;;
+  esac
+done
+mkdir -p "$out_dir"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== bench: configure + build (Release) ==="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs" --target \
+  bench_microcrypto bench_fig5_handshake_cpu bench_fig7_sgx_throughput
+
+micro_args=()
+fig5_args=(--trials 20)
+fig7_args=(--seconds 0.25)
+if [[ "$quick" == 1 ]]; then
+  micro_args=(--quick)
+  fig5_args=(--trials 2)
+  fig7_args=(--seconds 0.01)
+fi
+
+echo
+echo "=== bench_microcrypto ==="
+./build/bench/bench_microcrypto "${micro_args[@]}" --json "$out_dir/BENCH_micro.json"
+
+echo
+echo "=== bench_fig5_handshake_cpu ==="
+./build/bench/bench_fig5_handshake_cpu "${fig5_args[@]}" --json "$out_dir/BENCH_fig5.json"
+
+echo
+echo "=== bench_fig7_sgx_throughput ==="
+./build/bench/bench_fig7_sgx_throughput "${fig7_args[@]}" --json "$out_dir/BENCH_fig7.json"
+
+echo
+echo "wrote: $out_dir/BENCH_micro.json $out_dir/BENCH_fig5.json $out_dir/BENCH_fig7.json"

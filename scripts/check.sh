@@ -28,6 +28,9 @@ step "mbtls-lint: src/ tests/ tools/ bench/"
 ./build/tools/lint/mbtls-lint src tests tools bench
 echo "lint clean"
 
+step "bench: quick run + JSON emission (scripts/bench.sh --quick)"
+scripts/bench.sh --quick --out /tmp/mbtls-bench-check
+
 if [[ "$fast" == 1 ]]; then
   step "fast mode: skipping sanitizer builds"
   exit 0

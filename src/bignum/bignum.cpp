@@ -273,6 +273,71 @@ struct MontCtx {
 }  // namespace
 
 BigInt BigInt::mod_exp(const BigInt& exponent, const BigInt& modulus) const {
+#ifdef MBTLS_REFERENCE_CRYPTO
+  return mod_exp_reference(exponent, modulus);
+#else
+  if (modulus.is_zero()) throw std::domain_error("mod_exp: zero modulus");
+  if (modulus == BigInt(1)) return BigInt();
+  BigInt base = *this % modulus;
+  if (exponent.is_zero()) return BigInt(1);
+
+  if (modulus.is_odd()) {
+    // Sliding-window Montgomery exponentiation. A 16-entry table of odd
+    // powers x^1, x^3, ..., x^31 turns every run of up to five exponent bits
+    // ending in a 1 into a single multiply; zero bits between windows cost
+    // only squarings. For a 2048-bit exponent that is ~1024 multiplies with
+    // the plain ladder vs ~340 here, on top of the shared squaring chain.
+    constexpr std::size_t kWindow = 5;
+    MontCtx ctx(modulus);
+    const std::size_t k = ctx.n.size();
+    auto pad = [&](const BigInt& v) {
+      std::vector<u64> l = v.limbs();
+      l.resize(k, 0);
+      return l;
+    };
+    const std::vector<u64> r2 = pad(ctx.r2);
+    const std::vector<u64> xm = ctx.mul(pad(base), r2);
+    const std::vector<u64> x2 = ctx.mul(xm, xm);
+    std::vector<std::vector<u64>> odd_pow(1u << (kWindow - 1));
+    odd_pow[0] = xm;
+    for (std::size_t i = 1; i < odd_pow.size(); ++i) odd_pow[i] = ctx.mul(odd_pow[i - 1], x2);
+
+    std::vector<u64> acc = ctx.mul(pad(BigInt(1)), r2);  // 1 in Montgomery form
+    std::size_t i = exponent.bit_length();
+    while (i > 0) {
+      if (!exponent.bit(i - 1)) {
+        acc = ctx.mul(acc, acc);
+        --i;
+        continue;
+      }
+      // Greedy window [lo, i): at most kWindow bits, both ends set.
+      std::size_t lo = i >= kWindow ? i - kWindow : 0;
+      while (!exponent.bit(lo)) ++lo;
+      std::uint32_t wval = 0;
+      for (std::size_t j = i; j-- > lo;) {
+        acc = ctx.mul(acc, acc);
+        wval = (wval << 1) | static_cast<std::uint32_t>(exponent.bit(j));
+      }
+      acc = ctx.mul(acc, odd_pow[(wval - 1) >> 1]);
+      i = lo;
+    }
+    std::vector<u64> one(k, 0);
+    one[0] = 1;
+    acc = ctx.mul(acc, one);  // convert back out of the Montgomery domain
+    return from_limbs(std::move(acc));
+  }
+
+  // Even modulus: plain square-and-multiply with division-based reduction.
+  BigInt acc(1);
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    acc = (acc * acc) % modulus;
+    if (exponent.bit(i)) acc = (acc * base) % modulus;
+  }
+  return acc;
+#endif
+}
+
+BigInt BigInt::mod_exp_reference(const BigInt& exponent, const BigInt& modulus) const {
   if (modulus.is_zero()) throw std::domain_error("mod_exp: zero modulus");
   if (modulus == BigInt(1)) return BigInt();
   BigInt base = *this % modulus;

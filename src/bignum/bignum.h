@@ -59,9 +59,16 @@ class BigInt {
   BigInt operator/(const BigInt& o) const { return divmod(o).first; }
   BigInt operator%(const BigInt& o) const { return divmod(o).second; }
 
-  /// (this ^ exponent) mod modulus. Uses Montgomery multiplication when the
-  /// modulus is odd, plain square-and-multiply with division otherwise.
+  /// (this ^ exponent) mod modulus. Odd moduli use sliding-window (w=5)
+  /// Montgomery exponentiation — an odd-powers table cuts the multiply count
+  /// from ~bits/2 to ~bits/6 on random exponents; even moduli fall back to
+  /// plain square-and-multiply with division.
   BigInt mod_exp(const BigInt& exponent, const BigInt& modulus) const;
+
+  /// Reference bit-at-a-time Montgomery ladder: the differential-test oracle
+  /// and bench baseline for the sliding-window path. Always compiled;
+  /// mod_exp dispatches here when MBTLS_REFERENCE_CRYPTO is defined.
+  BigInt mod_exp_reference(const BigInt& exponent, const BigInt& modulus) const;
 
   /// Modular inverse via extended Euclid; throws std::domain_error when
   /// gcd(this, modulus) != 1.

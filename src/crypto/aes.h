@@ -29,6 +29,12 @@ class Aes {
   void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
   void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
 
+  /// Encrypt four consecutive blocks (`in`/`out` are 64 bytes). The four
+  /// states advance through the rounds together so the T-table lookups of
+  /// independent blocks overlap in the pipeline — the GCM CTR keystream
+  /// generator runs on this.
+  void encrypt4(const std::uint8_t in[64], std::uint8_t out[64]) const;
+
   std::size_t key_size() const { return key_size_; }
 
  private:

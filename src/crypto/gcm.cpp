@@ -6,30 +6,6 @@
 namespace mbtls::crypto {
 
 namespace {
-
-inline std::uint64_t load_be64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
-  return v;
-}
-
-inline void store_be64(std::uint8_t* p, std::uint64_t v) {
-  for (int i = 7; i >= 0; --i) {
-    p[i] = static_cast<std::uint8_t>(v);
-    v >>= 8;
-  }
-}
-
-inline void store_be32(std::uint8_t* p, std::uint32_t v) {
-  p[0] = static_cast<std::uint8_t>(v >> 24);
-  p[1] = static_cast<std::uint8_t>(v >> 16);
-  p[2] = static_cast<std::uint8_t>(v >> 8);
-  p[3] = static_cast<std::uint8_t>(v);
-}
-
-}  // namespace
-
-namespace {
 // One GF(2^128) "multiply by x" step in GCM's bit-reflected representation.
 inline void shift_right_1(AesGcm::Block& v) {
   const bool lsb = (v.lo & 1) != 0;
@@ -62,6 +38,24 @@ inline AesGcm::Block shift_right_8(const AesGcm::Block& z) {
   out.hi ^= r.hi;
   out.lo ^= r.lo;
   return out;
+}
+
+// XOR eight bytes of `src` with eight bytes of `mask` into `dst` in one
+// 64-bit operation (endianness-agnostic: XOR commutes with byte order).
+inline void xor_word64(std::uint8_t* dst, const std::uint8_t* src, const std::uint8_t* mask) {
+  std::uint64_t a, k;
+  std::memcpy(&a, src, 8);
+  std::memcpy(&k, mask, 8);
+  a ^= k;
+  std::memcpy(dst, &a, 8);
+}
+
+inline void make_j0(const ByteView& iv, std::uint8_t j0[16]) {
+  if (iv.size() != AesGcm::kIvSize)
+    throw std::invalid_argument("AES-GCM requires a 96-bit IV");
+  std::memset(j0, 0, 16);
+  std::memcpy(j0, iv.data(), 12);
+  j0[15] = 1;
 }
 }  // namespace
 
@@ -109,6 +103,52 @@ AesGcm::Block AesGcm::ghash(ByteView aad, ByteView ciphertext) const {
 
   Block y;
   auto absorb = [&](ByteView data) {
+    const std::uint8_t* p = data.data();
+    std::size_t len = data.size();
+    // Full blocks load straight from the input — no staging copy.
+    while (len >= 16) {
+      y.hi ^= load_be64(p);
+      y.lo ^= load_be64(p + 8);
+      y = mul_h(y);
+      p += 16;
+      len -= 16;
+    }
+    if (len > 0) {
+      std::uint8_t block[16] = {0};
+      std::memcpy(block, p, len);
+      y.hi ^= load_be64(block);
+      y.lo ^= load_be64(block + 8);
+      y = mul_h(y);
+    }
+  };
+  absorb(aad);
+  absorb(ciphertext);
+  // Length block: 64-bit bit-lengths of AAD and ciphertext.
+  y.hi ^= static_cast<std::uint64_t>(aad.size()) * 8;
+  y.lo ^= static_cast<std::uint64_t>(ciphertext.size()) * 8;
+  y = mul_h(y);
+  return y;
+}
+
+AesGcm::Block AesGcm::ghash_reference(ByteView aad, ByteView ciphertext) const {
+  // Bit-serial GF(2^128) multiply straight from SP 800-38D — the oracle the
+  // table-driven path above is differentially tested against.
+  auto mul_h = [&](const Block& y) {
+    Block z;
+    Block v = h_;
+    for (int i = 0; i < 128; ++i) {
+      const std::uint64_t bit = i < 64 ? (y.hi >> (63 - i)) & 1 : (y.lo >> (127 - i)) & 1;
+      if (bit) {
+        z.hi ^= v.hi;
+        z.lo ^= v.lo;
+      }
+      shift_right_1(v);
+    }
+    return z;
+  };
+
+  Block y;
+  auto absorb = [&](ByteView data) {
     std::size_t off = 0;
     while (off < data.size()) {
       std::uint8_t block[16] = {0};
@@ -122,7 +162,6 @@ AesGcm::Block AesGcm::ghash(ByteView aad, ByteView ciphertext) const {
   };
   absorb(aad);
   absorb(ciphertext);
-  // Length block: 64-bit bit-lengths of AAD and ciphertext.
   y.hi ^= static_cast<std::uint64_t>(aad.size()) * 8;
   y.lo ^= static_cast<std::uint64_t>(ciphertext.size()) * 8;
   y = mul_h(y);
@@ -130,11 +169,49 @@ AesGcm::Block AesGcm::ghash(ByteView aad, ByteView ciphertext) const {
 }
 
 void AesGcm::ctr_xor(const std::uint8_t j0[16], ByteView in, std::uint8_t* out) const {
+  std::uint32_t ctr = load_be32(j0 + 12);
+  const std::uint8_t* src = in.data();
+  std::size_t len = in.size();
+
+  // Main path: four counter blocks encrypted per cipher call (the four
+  // states pipeline through the T-table rounds), keystream applied with
+  // 64-bit word XORs.
+  std::uint8_t counters[64];
+  std::uint8_t keystream[64];
+  while (len >= 64) {
+    for (int b = 0; b < 4; ++b) {
+      std::memcpy(counters + 16 * b, j0, 12);
+      store_be32(counters + 16 * b + 12, ++ctr);
+    }
+    aes_.encrypt4(counters, keystream);
+    for (int w = 0; w < 8; ++w) xor_word64(out + 8 * w, src + 8 * w, keystream + 8 * w);
+    src += 64;
+    out += 64;
+    len -= 64;
+  }
+
+  // Tail: one block at a time, word XOR for full blocks.
+  while (len > 0) {
+    std::memcpy(counters, j0, 12);
+    store_be32(counters + 12, ++ctr);
+    aes_.encrypt_block(counters, keystream);
+    const std::size_t n = std::min<std::size_t>(16, len);
+    if (n == 16) {
+      xor_word64(out, src, keystream);
+      xor_word64(out + 8, src + 8, keystream + 8);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(src[i] ^ keystream[i]);
+    }
+    src += n;
+    out += n;
+    len -= n;
+  }
+}
+
+void AesGcm::ctr_xor_reference(const std::uint8_t j0[16], ByteView in, std::uint8_t* out) const {
   std::uint8_t counter[16];
   std::memcpy(counter, j0, 16);
-  std::uint32_t ctr = (static_cast<std::uint32_t>(counter[12]) << 24) |
-                      (static_cast<std::uint32_t>(counter[13]) << 16) |
-                      (static_cast<std::uint32_t>(counter[14]) << 8) | counter[15];
+  std::uint32_t ctr = load_be32(counter + 12);
   std::size_t off = 0;
   while (off < in.size()) {
     ctr++;
@@ -147,48 +224,99 @@ void AesGcm::ctr_xor(const std::uint8_t j0[16], ByteView in, std::uint8_t* out) 
   }
 }
 
-Bytes AesGcm::seal(ByteView iv, ByteView aad, ByteView plaintext) const {
-  if (iv.size() != kIvSize) throw std::invalid_argument("AES-GCM requires a 96-bit IV");
-  std::uint8_t j0[16] = {0};
-  std::memcpy(j0, iv.data(), 12);
-  j0[15] = 1;
-
-  Bytes out(plaintext.size() + kTagSize);
-  ctr_xor(j0, plaintext, out.data());
-
-  const Block s = ghash(aad, ByteView(out.data(), plaintext.size()));
+void AesGcm::compute_tag(const std::uint8_t j0[16], const Block& s,
+                         std::uint8_t tag_out[16]) const {
   std::uint8_t tag_mask[16];
   aes_.encrypt_block(j0, tag_mask);
-  std::uint8_t tag[16];
-  store_be64(tag, s.hi);
-  store_be64(tag + 8, s.lo);
-  for (int i = 0; i < 16; ++i) tag[i] ^= tag_mask[i];
-  std::memcpy(out.data() + plaintext.size(), tag, 16);
+  store_be64(tag_out, s.hi);
+  store_be64(tag_out + 8, s.lo);
+  for (int i = 0; i < 16; ++i) tag_out[i] ^= tag_mask[i];
+}
+
+void AesGcm::seal_into(ByteView iv, ByteView aad, ByteView plaintext, MutableByteView out) const {
+  if (out.size() != plaintext.size() + kTagSize)
+    throw std::invalid_argument("seal_into: out must be plaintext + tag sized");
+  std::uint8_t j0[16];
+  make_j0(iv, j0);
+
+#ifdef MBTLS_REFERENCE_CRYPTO
+  ctr_xor_reference(j0, plaintext, out.data());
+  const Block s = ghash_reference(aad, ByteView(out.data(), plaintext.size()));
+#else
+  ctr_xor(j0, plaintext, out.data());
+  const Block s = ghash(aad, ByteView(out.data(), plaintext.size()));
+#endif
+  compute_tag(j0, s, out.data() + plaintext.size());
+}
+
+bool AesGcm::open_into(ByteView iv, ByteView aad, ByteView ciphertext_and_tag,
+                       MutableByteView out) const {
+  if (ciphertext_and_tag.size() < kTagSize) return false;
+  const std::size_t ct_len = ciphertext_and_tag.size() - kTagSize;
+  if (out.size() != ct_len)
+    throw std::invalid_argument("open_into: out must be ciphertext sized");
+  const ByteView ct = ciphertext_and_tag.first(ct_len);
+  const ByteView tag = ciphertext_and_tag.subspan(ct_len);
+
+  std::uint8_t j0[16];
+  make_j0(iv, j0);
+
+#ifdef MBTLS_REFERENCE_CRYPTO
+  const Block s = ghash_reference(aad, ct);
+#else
+  const Block s = ghash(aad, ct);
+#endif
+  std::uint8_t expected[16];
+  compute_tag(j0, s, expected);
+  if (!constant_time_equal(ByteView(expected, 16), tag)) return false;
+
+  // Authenticated: decrypt. When `out` aliases the ciphertext this overwrites
+  // it in place — GHASH above already consumed every ciphertext byte.
+#ifdef MBTLS_REFERENCE_CRYPTO
+  ctr_xor_reference(j0, ct, out.data());
+#else
+  ctr_xor(j0, ct, out.data());
+#endif
+  return true;
+}
+
+Bytes AesGcm::seal(ByteView iv, ByteView aad, ByteView plaintext) const {
+  Bytes out(plaintext.size() + kTagSize);
+  seal_into(iv, aad, plaintext, out);
   return out;
 }
 
 std::optional<Bytes> AesGcm::open(ByteView iv, ByteView aad, ByteView ciphertext_and_tag) const {
-  if (iv.size() != kIvSize) throw std::invalid_argument("AES-GCM requires a 96-bit IV");
+  if (ciphertext_and_tag.size() < kTagSize) return std::nullopt;
+  Bytes plaintext(ciphertext_and_tag.size() - kTagSize);
+  if (!open_into(iv, aad, ciphertext_and_tag, plaintext)) return std::nullopt;
+  return plaintext;
+}
+
+Bytes AesGcm::seal_reference(ByteView iv, ByteView aad, ByteView plaintext) const {
+  std::uint8_t j0[16];
+  make_j0(iv, j0);
+  Bytes out(plaintext.size() + kTagSize);
+  ctr_xor_reference(j0, plaintext, out.data());
+  const Block s = ghash_reference(aad, ByteView(out.data(), plaintext.size()));
+  compute_tag(j0, s, out.data() + plaintext.size());
+  return out;
+}
+
+std::optional<Bytes> AesGcm::open_reference(ByteView iv, ByteView aad,
+                                            ByteView ciphertext_and_tag) const {
+  std::uint8_t j0[16];
+  make_j0(iv, j0);
   if (ciphertext_and_tag.size() < kTagSize) return std::nullopt;
   const std::size_t ct_len = ciphertext_and_tag.size() - kTagSize;
   const ByteView ct = ciphertext_and_tag.first(ct_len);
   const ByteView tag = ciphertext_and_tag.subspan(ct_len);
-
-  std::uint8_t j0[16] = {0};
-  std::memcpy(j0, iv.data(), 12);
-  j0[15] = 1;
-
-  const Block s = ghash(aad, ct);
-  std::uint8_t tag_mask[16];
-  aes_.encrypt_block(j0, tag_mask);
+  const Block s = ghash_reference(aad, ct);
   std::uint8_t expected[16];
-  store_be64(expected, s.hi);
-  store_be64(expected + 8, s.lo);
-  for (int i = 0; i < 16; ++i) expected[i] ^= tag_mask[i];
+  compute_tag(j0, s, expected);
   if (!constant_time_equal(ByteView(expected, 16), tag)) return std::nullopt;
-
   Bytes plaintext(ct_len);
-  ctr_xor(j0, ct, plaintext.data());
+  ctr_xor_reference(j0, ct, plaintext.data());
   return plaintext;
 }
 

@@ -38,6 +38,27 @@ class AesGcm {
   /// authentication failure (callers translate into a bad_record_mac alert).
   std::optional<Bytes> open(ByteView iv, ByteView aad, ByteView ciphertext_and_tag) const;
 
+  // Allocation-free data plane. `seal_into` writes ciphertext || tag into a
+  // caller-owned buffer of exactly plaintext.size() + kTagSize bytes;
+  // `open_into` verifies the trailing tag and writes the plaintext into a
+  // buffer of ciphertext_and_tag.size() - kTagSize bytes, returning false
+  // (with `out` unmodified) on authentication failure. Both permit in-place
+  // operation when `out` begins at the input's first byte — CTR is a forward
+  // XOR stream, and `open_into` runs GHASH over the ciphertext before any
+  // byte of it is overwritten. Record protection and the middlebox forward
+  // path reuse one scratch buffer across records via these.
+  void seal_into(ByteView iv, ByteView aad, ByteView plaintext, MutableByteView out) const;
+  bool open_into(ByteView iv, ByteView aad, ByteView ciphertext_and_tag,
+                 MutableByteView out) const;
+
+  // Reference (pre-optimization) data plane: one CTR block per cipher call
+  // with per-byte XOR, and bit-serial GHASH. Always compiled — it is the
+  // differential-test oracle and the bench baseline. seal/open dispatch here
+  // when MBTLS_REFERENCE_CRYPTO is defined.
+  Bytes seal_reference(ByteView iv, ByteView aad, ByteView plaintext) const;
+  std::optional<Bytes> open_reference(ByteView iv, ByteView aad,
+                                      ByteView ciphertext_and_tag) const;
+
   /// 128-bit GHASH block, two big-endian halves. Public so that the GF(2^128)
   /// multiply helper (an implementation detail) can name it.
   struct Block {
@@ -48,6 +69,9 @@ class AesGcm {
 
   Block ghash(ByteView aad, ByteView ciphertext) const;
   void ctr_xor(const std::uint8_t j0[16], ByteView in, std::uint8_t* out) const;
+  Block ghash_reference(ByteView aad, ByteView ciphertext) const;
+  void ctr_xor_reference(const std::uint8_t j0[16], ByteView in, std::uint8_t* out) const;
+  void compute_tag(const std::uint8_t j0[16], const Block& s, std::uint8_t tag_out[16]) const;
 
   Aes aes_;
   Block h_;  // GHASH key H = E_K(0^128)

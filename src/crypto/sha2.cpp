@@ -52,27 +52,6 @@ constexpr std::uint64_t kK512[80] = {
     0x431d67c49c100d4cULL, 0x4cc5d4becb3e42b6ULL, 0x597f299cfc657e2aULL,
     0x5fcb6fab3ad6faecULL, 0x6c44198c4a475817ULL};
 
-inline std::uint32_t load_be32(const std::uint8_t* p) {
-  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
-         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
-}
-
-inline std::uint64_t load_be64(const std::uint8_t* p) {
-  return (static_cast<std::uint64_t>(load_be32(p)) << 32) | load_be32(p + 4);
-}
-
-inline void store_be32(std::uint8_t* p, std::uint32_t v) {
-  p[0] = static_cast<std::uint8_t>(v >> 24);
-  p[1] = static_cast<std::uint8_t>(v >> 16);
-  p[2] = static_cast<std::uint8_t>(v >> 8);
-  p[3] = static_cast<std::uint8_t>(v);
-}
-
-inline void store_be64(std::uint8_t* p, std::uint64_t v) {
-  store_be32(p, static_cast<std::uint32_t>(v >> 32));
-  store_be32(p + 4, static_cast<std::uint32_t>(v));
-}
-
 void compress256(std::array<std::uint32_t, 8>& h, const std::uint8_t* block) {
   using std::rotr;
   std::uint32_t w[64];

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 namespace mbtls::ec {
 
@@ -11,23 +12,17 @@ using u128 = unsigned __int128;
 U256 U256::from_bytes(ByteView be32) {
   if (be32.size() != 32) throw std::invalid_argument("U256::from_bytes wants 32 bytes");
   U256 r;
-  for (int limb = 0; limb < 4; ++limb) {
-    u64 v = 0;
-    for (int i = 0; i < 8; ++i) v = (v << 8) | be32[static_cast<std::size_t>((3 - limb) * 8 + i)];
-    r.w[static_cast<std::size_t>(limb)] = v;
-  }
+  for (int limb = 0; limb < 4; ++limb)
+    r.w[static_cast<std::size_t>(limb)] =
+        load_be64(be32.data() + static_cast<std::size_t>((3 - limb) * 8));
   return r;
 }
 
 Bytes U256::to_bytes() const {
   Bytes out(32);
-  for (int limb = 0; limb < 4; ++limb) {
-    u64 v = w[static_cast<std::size_t>(limb)];
-    for (int i = 7; i >= 0; --i) {
-      out[static_cast<std::size_t>((3 - limb) * 8 + i)] = static_cast<std::uint8_t>(v);
-      v >>= 8;
-    }
-  }
+  for (int limb = 0; limb < 4; ++limb)
+    store_be64(out.data() + static_cast<std::size_t>((3 - limb) * 8),
+               w[static_cast<std::size_t>(limb)]);
   return out;
 }
 
@@ -60,6 +55,38 @@ inline int raw_cmp(const U256& a, const U256& b) {
     if (a.w[i] != b.w[i]) return a.w[i] < b.w[i] ? -1 : 1;
   }
   return 0;
+}
+
+// ------------------------------------------------- constant-time primitives
+//
+// Branch-free mask arithmetic for secret-dependent selection. Every helper
+// returns / consumes an all-ones (0xff..ff) or all-zeros 64-bit mask so the
+// compiler emits plain ALU ops, never a conditional jump.
+
+/// All-ones when a == b, all-zeros otherwise.
+inline u64 ct_eq_mask(u64 a, u64 b) {
+  const u64 x = a ^ b;
+  // top bit of (x | -x) is 1 iff x != 0; extend the complement to a mask.
+  const u64 nonzero_bit = (x | (~x + 1)) >> 63;
+  return nonzero_bit - 1;  // 0 -> 0xff..ff, 1 -> 0
+}
+
+/// All-ones when the 256-bit value is zero.
+inline u64 ct_u256_is_zero_mask(const U256& a) {
+  const u64 merged = a.w[0] | a.w[1] | a.w[2] | a.w[3];
+  return ct_eq_mask(merged, 0);
+}
+
+/// r = mask ? a : r (mask must be all-ones or all-zeros).
+inline void ct_cmov(U256& r, const U256& a, u64 mask) {
+  for (int i = 0; i < 4; ++i) r.w[i] = (r.w[i] & ~mask) | (a.w[i] & mask);
+}
+
+/// Window i (bits [4i, 4i+4)) of a scalar.
+inline std::uint32_t window4(const U256& k, int i) {
+  return static_cast<std::uint32_t>((k.w[static_cast<std::size_t>(i / 16)] >>
+                                     (4 * (i % 16))) &
+                                    0xf);
 }
 
 }  // namespace
@@ -194,6 +221,21 @@ U256 Mont::reduce_once(const U256& a) const {
   return a;
 }
 
+// ---------------------------------------------------- ct window selection
+
+AffinePoint ct_select_window(std::span<const AffinePoint> table, std::uint32_t idx) {
+  AffinePoint out;
+  u64 matched = 0;
+  for (std::size_t j = 0; j < table.size(); ++j) {
+    const u64 m = ct_eq_mask(idx, static_cast<u64>(j + 1));
+    ct_cmov(out.x, table[j].x, m);
+    ct_cmov(out.y, table[j].y, m);
+    matched |= m;
+  }
+  out.infinity = matched == 0;
+  return out;
+}
+
 // ------------------------------------------------------------------ curve
 
 namespace {
@@ -230,6 +272,27 @@ P256::P256()
   three_mont_ = fp_.to_mont(three);
   g_.x = gx;
   g_.y = gy;
+
+  // Precompute the fixed-base comb table: row i holds {1..15} * 16^i * G.
+  // With it, mul_base needs zero doublings — one mixed addition per window.
+  // All entries derive from the public generator; one-time cost at first
+  // P256::instance() is ~1.2k Jacobian ops plus a single batched inversion.
+  std::vector<Jacobian> rows(static_cast<std::size_t>(kWindows) * kTableSize);
+  Jacobian cur = to_jacobian(g_);
+  for (int i = 0; i < kWindows; ++i) {
+    Jacobian* row = rows.data() + static_cast<std::size_t>(i) * kTableSize;
+    row[0] = cur;
+    for (int j = 1; j < kTableSize; ++j) row[j] = add(row[j - 1], cur);
+    if (i + 1 < kWindows) {
+      for (int d = 0; d < kWindowBits; ++d) cur = dbl(cur);
+    }
+  }
+  std::vector<AffineMont> flat(rows.size());
+  batch_to_affine_mont(rows.data(), flat.data(), rows.size());
+  for (int i = 0; i < kWindows; ++i)
+    for (int j = 0; j < kTableSize; ++j)
+      base_table_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          flat[static_cast<std::size_t>(i) * kTableSize + static_cast<std::size_t>(j)];
 }
 
 P256::Jacobian P256::to_jacobian(const AffinePoint& p) const {
@@ -252,9 +315,11 @@ AffinePoint P256::to_affine(const Jacobian& p) const {
 }
 
 // Jacobian doubling for a = -3 (dbl-2001-b style, using
-// M = 3(X-Z^2)(X+Z^2)).
+// M = 3(X-Z^2)(X+Z^2)). Branch-free: with Z = 0 the formulas yield Z3 = 0,
+// so infinity stays infinity without a secret-dependent early exit (the
+// windowed ladders double an accumulator that is infinity while the secret
+// scalar's leading windows are zero).
 P256::Jacobian P256::dbl(const Jacobian& p) const {
-  if (p.z.is_zero() || p.y.is_zero()) return Jacobian{};
   const U256 z2 = fp_.sqr(p.z);
   const U256 t1 = fp_.sub(p.x, z2);
   const U256 t2 = fp_.add(p.x, z2);
@@ -271,7 +336,8 @@ P256::Jacobian P256::dbl(const Jacobian& p) const {
 }
 
 // General Jacobian addition (add-2007-bl style simplifications omitted;
-// straightforward formulas are fine at our scale).
+// straightforward formulas are fine at our scale). Used on public data only
+// (reference ladder, table precomputation) — branches are acceptable here.
 P256::Jacobian P256::add(const Jacobian& p, const Jacobian& q) const {
   if (p.z.is_zero()) return q;
   if (q.z.is_zero()) return p;
@@ -296,6 +362,112 @@ P256::Jacobian P256::add(const Jacobian& p, const Jacobian& q) const {
   return Jacobian{x3, y3, z3};
 }
 
+// Mixed addition p + q with q affine (Z2 = 1): madd-2007-bl, ~3 field muls
+// cheaper than the general add. Variable-time (public scalars only).
+P256::Jacobian P256::add_mixed(const Jacobian& p, const AffineMont& q) const {
+  if (p.z.is_zero()) return Jacobian{q.x, q.y, fp_.one_mont()};
+  const U256 z1z1 = fp_.sqr(p.z);
+  const U256 u2 = fp_.mul(q.x, z1z1);
+  const U256 s2 = fp_.mul(q.y, fp_.mul(z1z1, p.z));
+  const U256 h = fp_.sub(u2, p.x);
+  const U256 r = fp_.sub(s2, p.y);
+  if (h.is_zero()) {
+    if (r.is_zero()) return dbl(p);
+    return Jacobian{};  // p + (-p)
+  }
+  const U256 h2 = fp_.sqr(h);
+  const U256 h3 = fp_.mul(h2, h);
+  const U256 v = fp_.mul(p.x, h2);
+  U256 x3 = fp_.sub(fp_.sub(fp_.sqr(r), h3), fp_.add(v, v));
+  U256 y3 = fp_.sub(fp_.mul(r, fp_.sub(v, x3)), fp_.mul(p.y, h3));
+  U256 z3 = fp_.mul(p.z, h);
+  return Jacobian{x3, y3, z3};
+}
+
+// Constant-time mixed addition for secret-scalar ladders. The general-case
+// formulas run unconditionally; the two degenerate cases (accumulator at
+// infinity, window digit 0) are resolved afterwards with masked moves, so
+// control flow never depends on the secret window value.
+//
+// The p == ±q cases cannot arise when the scalar is in [0, n): the
+// accumulator always holds (prefix of k) * P with the prefix strictly
+// smaller than the table entry's multiple, so their multiples of P can only
+// collide mod n for k >= n. A plain branch guards that unreachable case to
+// keep out-of-range inputs well-defined (the differential tests exercise it).
+P256::Jacobian P256::add_mixed_ct(const Jacobian& p, const AffineMont& q,
+                                  std::uint64_t valid_mask) const {
+  const U256 z1z1 = fp_.sqr(p.z);
+  const U256 u2 = fp_.mul(q.x, z1z1);
+  const U256 s2 = fp_.mul(q.y, fp_.mul(z1z1, p.z));
+  const U256 h = fp_.sub(u2, p.x);
+  const U256 r = fp_.sub(s2, p.y);
+  const U256 h2 = fp_.sqr(h);
+  const U256 h3 = fp_.mul(h2, h);
+  const U256 v = fp_.mul(p.x, h2);
+  Jacobian out;
+  out.x = fp_.sub(fp_.sub(fp_.sqr(r), h3), fp_.add(v, v));
+  out.y = fp_.sub(fp_.mul(r, fp_.sub(v, out.x)), fp_.mul(p.y, h3));
+  out.z = fp_.mul(p.z, h);
+
+  const u64 p_inf = ct_u256_is_zero_mask(p.z);
+  // p at infinity: the sum is q lifted to Jacobian.
+  const Jacobian lifted{q.x, q.y, fp_.one_mont()};
+  ct_cmov(out.x, lifted.x, p_inf & valid_mask);
+  ct_cmov(out.y, lifted.y, p_inf & valid_mask);
+  ct_cmov(out.z, lifted.z, p_inf & valid_mask);
+  // q absent (window digit 0): keep p.
+  ct_cmov(out.x, p.x, ~valid_mask);
+  ct_cmov(out.y, p.y, ~valid_mask);
+  ct_cmov(out.z, p.z, ~valid_mask);
+
+  if ((ct_u256_is_zero_mask(h) & ct_u256_is_zero_mask(r) & ~p_inf & valid_mask) != 0) {
+    return dbl(p);  // unreachable for scalars < n; see comment above
+  }
+  return out;
+}
+
+namespace {
+/// Constant-time scan over a window table of Montgomery-affine entries.
+/// Returns the all-ones mask when idx selected a real entry (idx in [1, n]).
+template <typename Entry>
+u64 ct_select_entry(const Entry* table, int n, std::uint32_t idx, Entry& out) {
+  u64 matched = 0;
+  for (int j = 0; j < n; ++j) {
+    const u64 m = ct_eq_mask(idx, static_cast<u64>(j + 1));
+    ct_cmov(out.x, table[j].x, m);
+    ct_cmov(out.y, table[j].y, m);
+    matched |= m;
+  }
+  return matched;
+}
+}  // namespace
+
+void P256::batch_to_affine_mont(const Jacobian* in, AffineMont* out, std::size_t count) const {
+  // Montgomery's trick: one field inversion for the whole batch. Callers
+  // guarantee no input is at infinity (window tables never contain it).
+  std::vector<U256> prefix(count);
+  U256 acc = fp_.one_mont();
+  for (std::size_t i = 0; i < count; ++i) {
+    acc = fp_.mul(acc, in[i].z);
+    prefix[i] = acc;
+  }
+  U256 inv_tail = fp_.inv(acc);  // (z0*...*z_{n-1})^-1
+  for (std::size_t i = count; i-- > 0;) {
+    const U256 zinv = i == 0 ? inv_tail : fp_.mul(inv_tail, prefix[i - 1]);
+    inv_tail = fp_.mul(inv_tail, in[i].z);
+    const U256 zinv2 = fp_.sqr(zinv);
+    out[i].x = fp_.mul(in[i].x, zinv2);
+    out[i].y = fp_.mul(in[i].y, fp_.mul(zinv2, zinv));
+  }
+}
+
+void P256::build_window_table(const AffinePoint& p, AffineMont out[kTableSize]) const {
+  Jacobian jt[kTableSize];
+  jt[0] = to_jacobian(p);
+  for (int j = 1; j < kTableSize; ++j) jt[j] = add(jt[j - 1], jt[0]);
+  batch_to_affine_mont(jt, out, kTableSize);
+}
+
 P256::Jacobian P256::mul_impl(const U256& k, const Jacobian& p) const {
   Jacobian acc{};  // infinity
   for (int i = 255; i >= 0; --i) {
@@ -305,16 +477,82 @@ P256::Jacobian P256::mul_impl(const U256& k, const Jacobian& p) const {
   return acc;
 }
 
-AffinePoint P256::mul_base(const U256& k) const { return mul(k, g_); }
+AffinePoint P256::mul_base_reference(const U256& k) const { return mul_reference(k, g_); }
 
-AffinePoint P256::mul(const U256& k, const AffinePoint& p) const {
+AffinePoint P256::mul_reference(const U256& k, const AffinePoint& p) const {
   return to_affine(mul_impl(k, to_jacobian(p)));
 }
 
-AffinePoint P256::mul_add(const U256& u1, const U256& u2, const AffinePoint& q) const {
+AffinePoint P256::mul_add_reference(const U256& u1, const U256& u2, const AffinePoint& q) const {
   const Jacobian a = mul_impl(u1, to_jacobian(g_));
   const Jacobian b = mul_impl(u2, to_jacobian(q));
   return to_affine(add(a, b));
+}
+
+AffinePoint P256::mul_base(const U256& k) const {
+#ifdef MBTLS_REFERENCE_CRYPTO
+  return mul_base_reference(k);
+#else
+  // Fixed-base comb: one constant-time-selected mixed addition per 4-bit
+  // window, no doublings at all (the table rows absorb the 16^i factors).
+  Jacobian acc{};  // infinity
+  for (int i = 0; i < kWindows; ++i) {
+    const std::uint32_t d = window4(k, i);
+    AffineMont sel{};
+    const u64 valid =
+        ct_select_entry(base_table_[static_cast<std::size_t>(i)].data(), kTableSize, d, sel);
+    acc = add_mixed_ct(acc, sel, valid);
+  }
+  return to_affine(acc);
+#endif
+}
+
+AffinePoint P256::mul(const U256& k, const AffinePoint& p) const {
+#ifdef MBTLS_REFERENCE_CRYPTO
+  return mul_reference(k, p);
+#else
+  // Fixed-window (w=4) left-to-right ladder: 4 doublings + one
+  // constant-time-selected mixed addition per window. The per-call table is
+  // derived from the (public) input point; only the selection index is
+  // secret, and it never steers a branch or a memory address.
+  AffineMont table[kTableSize];
+  build_window_table(p, table);
+  Jacobian acc{};  // infinity
+  for (int i = kWindows - 1; i >= 0; --i) {
+    if (i != kWindows - 1) {
+      for (int d = 0; d < kWindowBits; ++d) acc = dbl(acc);
+    }
+    const std::uint32_t d = window4(k, i);
+    AffineMont sel{};
+    const u64 valid = ct_select_entry(table, kTableSize, d, sel);
+    acc = add_mixed_ct(acc, sel, valid);
+  }
+  return to_affine(acc);
+#endif
+}
+
+AffinePoint P256::mul_add(const U256& u1, const U256& u2, const AffinePoint& q) const {
+#ifdef MBTLS_REFERENCE_CRYPTO
+  return mul_add_reference(u1, u2, q);
+#else
+  // Shamir/Strauss interleaving: both scalars share one chain of doublings,
+  // with up to two mixed additions per window. ECDSA verification inputs are
+  // public, so plain indexed table lookups are fine here.
+  AffineMont table_q[kTableSize];
+  build_window_table(q, table_q);
+  const auto& table_g = base_table_[0];  // row 0 holds {1..15} * G
+  Jacobian acc{};                        // infinity
+  for (int i = kWindows - 1; i >= 0; --i) {
+    if (i != kWindows - 1) {
+      for (int d = 0; d < kWindowBits; ++d) acc = dbl(acc);
+    }
+    const std::uint32_t d1 = window4(u1, i);
+    if (d1 != 0) acc = add_mixed(acc, table_g[d1 - 1]);
+    const std::uint32_t d2 = window4(u2, i);
+    if (d2 != 0) acc = add_mixed(acc, table_q[d2 - 1]);
+  }
+  return to_affine(acc);
+#endif
 }
 
 bool P256::on_curve(const AffinePoint& p) const {

@@ -8,11 +8,24 @@
 // This backs both ECDHE key exchange and ECDSA certificate signatures — the
 // dominant asymmetric cost in the Figure-5 handshake CPU experiment, which is
 // why it gets a dedicated implementation instead of the generic BigInt.
+//
+// Two implementations coexist:
+//  * the fast path — fixed-window (w=4) scalar multiplication. `mul_base`
+//    uses a precomputed 64x15 comb table of generator multiples (public
+//    constants); `mul` builds a per-call 15-entry table of the input point.
+//    Secret-scalar paths select window entries with a constant-time scan over
+//    the whole table (see `ct_select_window`), never by secret index.
+//    `mul_add` (ECDSA verify — public scalars) interleaves both scalars over
+//    shared doublings with plain indexed lookups.
+//  * the reference path — the original double-and-add ladder, kept as the
+//    differential-test oracle (`*_reference`). Building with
+//    -DMBTLS_REFERENCE_CRYPTO routes the public API back to it.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "crypto/drbg.h"
 #include "util/bytes.h"
@@ -68,6 +81,14 @@ struct AffinePoint {
   bool infinity = false;
 };
 
+/// Constant-time window-table selection: returns table[idx - 1] for idx in
+/// [1, table.size()], or a zero point for idx == 0. Every entry is scanned and
+/// mask-combined regardless of idx, so neither the branch predictor nor the
+/// data cache observes which entry was chosen. This is the primitive all
+/// secret-scalar window lookups go through; test_consttime pits it against a
+/// deliberately variable-time early-exit lookup as the positive control.
+AffinePoint ct_select_window(std::span<const AffinePoint> table, std::uint32_t idx);
+
 class P256 {
  public:
   static const P256& instance();
@@ -80,8 +101,15 @@ class P256 {
   AffinePoint mul_base(const U256& k) const;
   /// Scalar multiplication k*P.
   AffinePoint mul(const U256& k, const AffinePoint& p) const;
-  /// u1*G + u2*Q (for ECDSA verification).
+  /// u1*G + u2*Q (for ECDSA verification; u1/u2 are public).
   AffinePoint mul_add(const U256& u1, const U256& u2, const AffinePoint& q) const;
+
+  // Reference (double-and-add ladder) implementations: the differential-test
+  // oracle and the bench baseline. Always compiled; `mul_base` etc. dispatch
+  // here when MBTLS_REFERENCE_CRYPTO is defined.
+  AffinePoint mul_base_reference(const U256& k) const;
+  AffinePoint mul_reference(const U256& k, const AffinePoint& p) const;
+  AffinePoint mul_add_reference(const U256& u1, const U256& u2, const AffinePoint& q) const;
 
   /// Is `p` a valid point on the curve (and not infinity)?
   bool on_curve(const AffinePoint& p) const;
@@ -102,11 +130,25 @@ class P256 {
     U256 x, y, z;  // Montgomery domain; infinity iff z == 0
   };
 
+  /// Montgomery-domain affine point (z == 1 implied); the window-table entry
+  /// format. Mixed addition against these saves ~4 field muls per add.
+  struct AffineMont {
+    U256 x, y;
+  };
+
+  static constexpr int kWindowBits = 4;
+  static constexpr int kWindows = 256 / kWindowBits;       // 64
+  static constexpr int kTableSize = (1 << kWindowBits) - 1;  // 15 (idx 0 = skip)
+
   Jacobian to_jacobian(const AffinePoint& p) const;
   AffinePoint to_affine(const Jacobian& p) const;
   Jacobian dbl(const Jacobian& p) const;
   Jacobian add(const Jacobian& p, const Jacobian& q) const;
+  Jacobian add_mixed(const Jacobian& p, const AffineMont& q) const;
+  Jacobian add_mixed_ct(const Jacobian& p, const AffineMont& q, std::uint64_t valid_mask) const;
   Jacobian mul_impl(const U256& k, const Jacobian& p) const;
+  void build_window_table(const AffinePoint& p, AffineMont out[kTableSize]) const;
+  void batch_to_affine_mont(const Jacobian* in, AffineMont* out, std::size_t count) const;
 
   Mont fp_;
   Mont fn_;
@@ -114,6 +156,10 @@ class P256 {
   U256 b_mont_;        // curve b in Montgomery form
   U256 three_mont_;    // 3 in Montgomery form (a = -3)
   AffinePoint g_;
+  // Comb table of generator multiples: base_table_[i][j-1] = j * 16^i * G for
+  // i in [0,64), j in [1,16). Public curve constants only (derived from G), so
+  // no wiping is required; secret scalars never enter the precomputation.
+  std::array<std::array<AffineMont, kTableSize>, kWindows> base_table_;  // lint: not-secret
 };
 
 }  // namespace mbtls::ec

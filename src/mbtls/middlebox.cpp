@@ -201,40 +201,50 @@ void Middlebox::flush_buffered() {
 
 // ------------------------------------------------------------ re-protection
 
-void Middlebox::reprotect_c2s(const tls::Record& record) {
-  auto opened = toward_client_->open_c2s(record.type, record.payload);
+// The forward path is zero-copy: the record body is decrypted in place
+// inside the Record's own payload buffer, and the outbound record is sealed
+// directly into the accumulating output buffer (whose capacity is reused
+// across records). Only a configured application processor — which by
+// contract returns a fresh payload — adds an allocation.
+
+void Middlebox::reprotect_c2s(tls::Record& record) {
+  const auto opened = toward_client_->open_c2s_in_place(record.type, record.payload);
   if (!opened) {
     ++auth_failures_;
     return;  // P2/P4: unauthenticated or out-of-path record is discarded
   }
-  Bytes payload = std::move(*opened);
+  ByteView payload = *opened;
+  Bytes processed;
   if (record.type == tls::ContentType::kApplicationData && options_.processor) {
-    payload = options_.processor(/*client_to_server=*/true, payload);
+    processed = options_.processor(/*client_to_server=*/true, payload);
+    payload = processed;
   }
   bytes_processed_ += payload.size();
   ++records_reprotected_;
-  append(to_server_, toward_server_->seal_c2s(record.type, payload));
+  toward_server_->seal_c2s_into(record.type, payload, to_server_);
 }
 
-void Middlebox::reprotect_s2c(const tls::Record& record) {
-  auto opened = toward_server_->open_s2c(record.type, record.payload);
+void Middlebox::reprotect_s2c(tls::Record& record) {
+  const auto opened = toward_server_->open_s2c_in_place(record.type, record.payload);
   if (!opened) {
     ++auth_failures_;
     return;
   }
-  Bytes payload = std::move(*opened);
+  ByteView payload = *opened;
+  Bytes processed;
   if (record.type == tls::ContentType::kApplicationData && options_.processor) {
-    payload = options_.processor(/*client_to_server=*/false, payload);
+    processed = options_.processor(/*client_to_server=*/false, payload);
+    payload = processed;
   }
   bytes_processed_ += payload.size();
   ++records_reprotected_;
-  append(to_client_, toward_client_->seal_s2c(record.type, payload));
+  toward_client_->seal_s2c_into(record.type, payload, to_client_);
 }
 
 // ------------------------------------------------------------ record loops
 
 void Middlebox::handle_downstream_record(Bytes raw) {
-  const tls::Record record = parse_record_header(raw);
+  tls::Record record = parse_record_header(raw);
 
   if (mode_ == Mode::kRelay) {
     append(to_server_, raw);
@@ -299,7 +309,7 @@ void Middlebox::handle_downstream_record(Bytes raw) {
 }
 
 void Middlebox::handle_upstream_record(Bytes raw) {
-  const tls::Record record = parse_record_header(raw);
+  tls::Record record = parse_record_header(raw);
 
   if (mode_ == Mode::kRelay) {
     append(to_client_, raw);

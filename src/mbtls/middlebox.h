@@ -91,8 +91,8 @@ class Middlebox {
   void drain_secondary();
   void install_keys(const tls::KeyMaterialMsg& msg);
   void maybe_cache_session();
-  void reprotect_c2s(const tls::Record& record);
-  void reprotect_s2c(const tls::Record& record);
+  void reprotect_c2s(tls::Record& record);  // decrypts record.payload in place
+  void reprotect_s2c(tls::Record& record);
   void flush_buffered();
   void demote_to_relay();
   Bytes& endpoint_out() {

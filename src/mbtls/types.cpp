@@ -33,6 +33,24 @@ std::optional<Bytes> HopDuplex::open_s2c(tls::ContentType type, ByteView body) {
   return s2c_.open(type, body);
 }
 
+void HopDuplex::seal_c2s_into(tls::ContentType type, ByteView plaintext, Bytes& out) {
+  c2s_.seal_into(type, plaintext, out);
+}
+
+std::optional<MutableByteView> HopDuplex::open_c2s_in_place(tls::ContentType type,
+                                                            MutableByteView body) {
+  return c2s_.open_in_place(type, body);
+}
+
+void HopDuplex::seal_s2c_into(tls::ContentType type, ByteView plaintext, Bytes& out) {
+  s2c_.seal_into(type, plaintext, out);
+}
+
+std::optional<MutableByteView> HopDuplex::open_s2c_in_place(tls::ContentType type,
+                                                            MutableByteView body) {
+  return s2c_.open_in_place(type, body);
+}
+
 tls::HopKeys generate_hop_keys(std::size_t key_len, crypto::Drbg& rng) {
   tls::HopKeys keys;
   keys.client_to_server_key = rng.bytes(key_len);

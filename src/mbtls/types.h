@@ -42,6 +42,14 @@ class HopDuplex {
   Bytes seal_s2c(tls::ContentType type, ByteView plaintext);
   std::optional<Bytes> open_s2c(tls::ContentType type, ByteView body);
 
+  // Allocation-free variants (see HopChannel): seal appends the wire record
+  // to `out`; open decrypts the record body in place and returns a plaintext
+  // sub-span. The middlebox re-protection fast path runs on these.
+  void seal_c2s_into(tls::ContentType type, ByteView plaintext, Bytes& out);
+  std::optional<MutableByteView> open_c2s_in_place(tls::ContentType type, MutableByteView body);
+  void seal_s2c_into(tls::ContentType type, ByteView plaintext, Bytes& out);
+  std::optional<MutableByteView> open_s2c_in_place(tls::ContentType type, MutableByteView body);
+
  private:
   tls::HopChannel c2s_;
   tls::HopChannel s2c_;

@@ -42,6 +42,19 @@ class HopChannel {
   /// number on success.
   std::optional<Bytes> open(ContentType type, ByteView body);
 
+  /// Allocation-free seal: appends the full wire record to `out`, sealing
+  /// directly into the grown tail (the nonce and AAD live on the stack).
+  /// `plaintext` must not alias `out`. An accumulating output buffer reuses
+  /// its capacity across records, so the steady-state data plane never
+  /// allocates per record.
+  void seal_into(ContentType type, ByteView plaintext, Bytes& out);
+
+  /// Allocation-free open: decrypts the record body in place and returns a
+  /// view of the plaintext (a sub-span of `body`), or nullopt on
+  /// authentication failure (body unmodified). Increments the sequence
+  /// number on success.
+  std::optional<MutableByteView> open_in_place(ContentType type, MutableByteView body);
+
   std::uint64_t sequence() const { return seq_; }
 
  private:
@@ -67,11 +80,20 @@ class RecordReader {
   /// records use this to cut through without re-framing.
   std::optional<Bytes> take_raw();
 
-  bool buffer_empty() const { return buffer_.empty(); }
+  bool buffer_empty() const { return pos_ == buffer_.size(); }
 
  private:
   std::optional<std::size_t> complete_record_size() const;
+  void consume(std::size_t n);
+
+  // Consumed-offset cursor: `pos_` marks how far records have been popped.
+  // Erasing the front of the buffer per record is O(n^2) across a burst of
+  // small records; instead the consumed prefix is dropped only when the
+  // buffer fully drains (the common case — clear() keeps capacity) or once
+  // it exceeds kCompactThreshold, which amortizes the memmove.
+  static constexpr std::size_t kCompactThreshold = 64 * 1024;
   Bytes buffer_;
+  std::size_t pos_ = 0;
 };
 
 }  // namespace mbtls::tls

@@ -5,8 +5,10 @@
 // constant-time variant for secrets), and conversions to/from strings.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstddef>
+#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
@@ -63,6 +65,34 @@ void secure_wipe_object(T& obj) {
 
 /// Subview helper with bounds checking; throws std::out_of_range.
 ByteView slice(ByteView v, std::size_t offset, std::size_t len);
+
+// Raw big-endian word load/store: one memcpy plus a byteswap instead of a
+// per-byte shift loop. These are the hot-path primitives behind SHA-2 message
+// schedules, GHASH block absorption, and the GCM counter; the codec-style
+// put_/get_ helpers below stay byte-oriented because they grow vectors.
+inline std::uint32_t load_be32(const void* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::little) v = __builtin_bswap32(v);
+  return v;
+}
+
+inline std::uint64_t load_be64(const void* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::little) v = __builtin_bswap64(v);
+  return v;
+}
+
+inline void store_be32(void* p, std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) v = __builtin_bswap32(v);
+  std::memcpy(p, &v, sizeof(v));
+}
+
+inline void store_be64(void* p, std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little) v = __builtin_bswap64(v);
+  std::memcpy(p, &v, sizeof(v));
+}
 
 // Big-endian integer encode/decode helpers (network byte order), used by the
 // TLS record and handshake codecs.

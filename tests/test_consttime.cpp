@@ -20,6 +20,7 @@
 
 #include "crypto/drbg.h"
 #include "crypto/gcm.h"
+#include "ec/p256.h"
 #include "util/bytes.h"
 
 namespace mbtls {
@@ -154,6 +155,75 @@ TEST(ConstTime, PositiveControlVariableTimeEqualLeaks) {
   (void)sink;
   EXPECT_GT(std::fabs(t), kLeakThreshold)
       << "harness failed to detect a deliberate early-exit leak, t=" << t;
+}
+
+// Deliberately variable-time window lookup: scans (and copies) entries until
+// it reaches the requested one, so its running time is proportional to the
+// index — the classic secret-indexed table leak ct_select_window exists to
+// prevent. A plain `return table[idx - 1]` would NOT serve as a positive
+// control here: with a 15-entry L1-resident table the indexed load itself is
+// timing-flat, so the harness would have nothing to detect.
+ec::AffinePoint vt_select_window(std::span<const ec::AffinePoint> table, std::uint32_t idx) {
+  ec::AffinePoint out;
+  out.infinity = true;
+  for (std::uint32_t i = 0; i < table.size(); ++i) {
+    out = table[i];
+    if (i + 1 == idx) break;  // early exit: work done depends on idx
+  }
+  if (idx == 0) out.infinity = true;
+  return out;
+}
+
+/// Sampler timing `batch` window selections at a fixed index. The table is
+/// shared between both classes (it is public precomputation either way); only
+/// the index — the secret in the real scalar-multiplication loop — differs.
+template <typename Select>
+Sampler select_sampler(std::span<const ec::AffinePoint> table, std::uint32_t idx,
+                       Select select, volatile std::uint64_t& sink, int batch) {
+  return [table, idx, select, &sink, batch] {
+    return time_batch([&] { sink = sink + select(table, idx).x.w[0]; }, batch);
+  };
+}
+
+TEST(ConstTime, WindowSelectDoesNotLeakIndex) {
+  MBTLS_SKIP_IF_INSTRUMENTED();
+  // The fixed-window P-256 ladder selects one of 15 precomputed points per
+  // 4-bit window of the secret scalar. The selection must cost the same for
+  // the first and the last index, or the scalar leaks window by window.
+  crypto::Drbg rng("consttime-sel", 5);
+  const auto& curve = ec::P256::instance();
+  std::vector<ec::AffinePoint> table;
+  for (int i = 0; i < 15; ++i) table.push_back(curve.mul_base(curve.random_scalar(rng)));
+
+  volatile std::uint64_t sink = 0;
+  const auto ct = [](std::span<const ec::AffinePoint> t, std::uint32_t idx) {
+    return ec::ct_select_window(t, idx);
+  };
+  const double t = welch_t(select_sampler(table, 1, ct, sink, 64),
+                           select_sampler(table, 15, ct, sink, 64),
+                           /*samples=*/1500);
+  (void)sink;
+  EXPECT_LT(std::fabs(t), kLeakThreshold)
+      << "ct_select_window timing depends on the selected index, t=" << t;
+}
+
+TEST(ConstTime, PositiveControlVariableTimeWindowSelectLeaks) {
+  MBTLS_SKIP_IF_INSTRUMENTED();
+  // Same harness, same classes, early-exit lookup: must show a massive |t|,
+  // proving the negative result above is the code's property, not the
+  // harness's insensitivity.
+  crypto::Drbg rng("consttime-sel-ctrl", 6);
+  const auto& curve = ec::P256::instance();
+  std::vector<ec::AffinePoint> table;
+  for (int i = 0; i < 15; ++i) table.push_back(curve.mul_base(curve.random_scalar(rng)));
+
+  volatile std::uint64_t sink = 0;
+  const double t = welch_t(select_sampler(table, 1, vt_select_window, sink, 64),
+                           select_sampler(table, 15, vt_select_window, sink, 64),
+                           /*samples=*/1500);
+  (void)sink;
+  EXPECT_GT(std::fabs(t), kLeakThreshold)
+      << "harness failed to detect the early-exit window lookup, t=" << t;
 }
 
 TEST(ConstTime, GcmTagVerifyDoesNotLeakMismatchPosition) {

@@ -1,0 +1,244 @@
+// Differential tests: every optimized hot-path primitive against its
+// reference implementation, over seeded-DRBG inputs plus hand-picked edge
+// cases. The references (`*_reference`, also reachable tree-wide via
+// -DMBTLS_REFERENCE_CRYPTO) are the straightforward textbook versions; any
+// divergence here means the optimization changed semantics, not just speed.
+#include <gtest/gtest.h>
+
+#include "bignum/bignum.h"
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "ec/p256.h"
+#include "util/bytes.h"
+
+namespace mbtls {
+namespace {
+
+// ---------------------------------------------------------------- P-256
+
+ec::U256 u256_from_u64(std::uint64_t v) {
+  Bytes be(32, 0);
+  for (int i = 0; i < 8; ++i) be[31 - i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return ec::U256::from_bytes(be);
+}
+
+ec::U256 order_minus_one() {
+  Bytes be = ec::P256::instance().order().to_bytes();
+  // The order is odd, so decrementing cannot borrow past the last byte.
+  be[31] -= 1;
+  return ec::U256::from_bytes(be);
+}
+
+ec::U256 high_bit_scalar() {
+  Bytes be(32, 0);
+  be[0] = 0x80;
+  return ec::U256::from_bytes(be);
+}
+
+ec::U256 all_ones_scalar() {
+  return ec::U256::from_bytes(Bytes(32, 0xff));  // >= n: exercises robustness
+}
+
+/// Edge scalars every windowed path must agree on: zero (infinity), the
+/// smallest scalars, the largest in-range scalar, a lone high bit (63 zero
+/// windows), and an out-of-range value.
+std::vector<ec::U256> edge_scalars() {
+  return {u256_from_u64(0), u256_from_u64(1),  u256_from_u64(2),
+          u256_from_u64(15), u256_from_u64(16), order_minus_one(),
+          high_bit_scalar(), all_ones_scalar()};
+}
+
+void expect_same_point(const ec::AffinePoint& got, const ec::AffinePoint& want,
+                       const std::string& what) {
+  EXPECT_EQ(got.infinity, want.infinity) << what;
+  if (got.infinity || want.infinity) return;
+  EXPECT_EQ(got.x, want.x) << what;
+  EXPECT_EQ(got.y, want.y) << what;
+}
+
+TEST(CryptoDiff, P256MulBaseMatchesReference) {
+  const auto& curve = ec::P256::instance();
+  crypto::Drbg rng("diff-p256-base", 1);
+  std::vector<ec::U256> scalars = edge_scalars();
+  for (int i = 0; i < 32; ++i) scalars.push_back(curve.random_scalar(rng));
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    expect_same_point(curve.mul_base(scalars[i]), curve.mul_base_reference(scalars[i]),
+                      "mul_base scalar #" + std::to_string(i));
+  }
+}
+
+TEST(CryptoDiff, P256MulMatchesReference) {
+  const auto& curve = ec::P256::instance();
+  crypto::Drbg rng("diff-p256-mul", 2);
+  std::vector<ec::U256> scalars = edge_scalars();
+  for (int i = 0; i < 16; ++i) scalars.push_back(curve.random_scalar(rng));
+  // Vary the base point too: random multiples of G (all valid curve points).
+  for (int pi = 0; pi < 4; ++pi) {
+    const ec::AffinePoint q = curve.mul_base_reference(curve.random_scalar(rng));
+    for (std::size_t i = 0; i < scalars.size(); ++i) {
+      expect_same_point(curve.mul(scalars[i], q), curve.mul_reference(scalars[i], q),
+                        "mul point #" + std::to_string(pi) + " scalar #" + std::to_string(i));
+    }
+  }
+}
+
+TEST(CryptoDiff, P256MulAddMatchesReference) {
+  const auto& curve = ec::P256::instance();
+  crypto::Drbg rng("diff-p256-muladd", 3);
+  std::vector<ec::U256> scalars = edge_scalars();
+  for (int i = 0; i < 4; ++i) scalars.push_back(curve.random_scalar(rng));
+  const ec::AffinePoint q = curve.mul_base_reference(curve.random_scalar(rng));
+  // Full cross product: hits u1 = 0, u2 = 0, both-zero, and cancellation-ish
+  // combinations the ECDSA-verify hot path would only see adversarially.
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    for (std::size_t j = 0; j < scalars.size(); ++j) {
+      expect_same_point(curve.mul_add(scalars[i], scalars[j], q),
+                        curve.mul_add_reference(scalars[i], scalars[j], q),
+                        "mul_add u1 #" + std::to_string(i) + " u2 #" + std::to_string(j));
+    }
+  }
+}
+
+TEST(CryptoDiff, P256WindowSelectMatchesIndexing) {
+  // ct_select_window must agree with plain indexing for every index,
+  // including the idx == 0 "no entry" convention.
+  const auto& curve = ec::P256::instance();
+  crypto::Drbg rng("diff-p256-sel", 4);
+  std::vector<ec::AffinePoint> table;
+  for (int i = 0; i < 15; ++i) table.push_back(curve.mul_base_reference(curve.random_scalar(rng)));
+  const ec::AffinePoint zero = ct_select_window(table, 0);
+  EXPECT_TRUE(zero.infinity);
+  for (std::uint32_t idx = 1; idx <= table.size(); ++idx) {
+    const ec::AffinePoint got = ct_select_window(table, idx);
+    expect_same_point(got, table[idx - 1], "window idx " + std::to_string(idx));
+  }
+}
+
+// --------------------------------------------------------------- AES-GCM
+
+TEST(CryptoDiff, GcmSealMatchesReference) {
+  crypto::Drbg rng("diff-gcm-seal", 5);
+  for (const std::size_t key_len : {std::size_t{16}, std::size_t{32}}) {
+    const crypto::AesGcm gcm(rng.bytes(key_len));
+    // Sizes straddling every code-path boundary: empty, partial block, exact
+    // blocks, the 4-block fast batch, and past it.
+    for (const std::size_t size : {0, 1, 15, 16, 17, 63, 64, 65, 255, 256, 1500, 4096}) {
+      const Bytes iv = rng.bytes(12);
+      const Bytes aad = rng.bytes(size % 32);  // varying AAD lengths too
+      const Bytes plaintext = rng.bytes(size);
+      const Bytes fast = gcm.seal(iv, aad, plaintext);
+      const Bytes ref = gcm.seal_reference(iv, aad, plaintext);
+      EXPECT_EQ(fast, ref) << "seal key_len=" << key_len << " size=" << size;
+
+      // Cross-open: each implementation must accept the other's output.
+      const auto fast_opens_ref = gcm.open(iv, aad, ref);
+      const auto ref_opens_fast = gcm.open_reference(iv, aad, fast);
+      ASSERT_TRUE(fast_opens_ref.has_value());
+      ASSERT_TRUE(ref_opens_fast.has_value());
+      EXPECT_EQ(*fast_opens_ref, plaintext);
+      EXPECT_EQ(*ref_opens_fast, plaintext);
+    }
+  }
+}
+
+TEST(CryptoDiff, GcmInPlaceMatchesAllocating) {
+  crypto::Drbg rng("diff-gcm-inplace", 6);
+  const crypto::AesGcm gcm(rng.bytes(32));
+  for (const std::size_t size : {0, 1, 16, 65, 1500}) {
+    const Bytes iv = rng.bytes(12);
+    const Bytes aad = rng.bytes(13);
+    const Bytes plaintext = rng.bytes(size);
+
+    // seal_into with the plaintext already sitting in the output buffer
+    // (true in-place use, as the record layer drives it).
+    Bytes buf(size + crypto::AesGcm::kTagSize);
+    std::copy(plaintext.begin(), plaintext.end(), buf.begin());
+    gcm.seal_into(iv, aad, ByteView(buf).first(size), buf);
+    EXPECT_EQ(buf, gcm.seal_reference(iv, aad, plaintext)) << "size=" << size;
+
+    // open_into decrypting into the ciphertext's own storage.
+    ASSERT_TRUE(gcm.open_into(iv, aad, buf, MutableByteView(buf).first(size)));
+    EXPECT_TRUE(std::equal(plaintext.begin(), plaintext.end(), buf.begin())) << "size=" << size;
+  }
+}
+
+TEST(CryptoDiff, GcmBothPathsRejectForgery) {
+  crypto::Drbg rng("diff-gcm-forge", 7);
+  const crypto::AesGcm gcm(rng.bytes(32));
+  const Bytes iv = rng.bytes(12);
+  const Bytes aad = rng.bytes(13);
+  const Bytes plaintext = rng.bytes(100);
+  Bytes sealed = gcm.seal(iv, aad, plaintext);
+  for (const std::size_t flip : {std::size_t{0}, plaintext.size(), sealed.size() - 1}) {
+    sealed[flip] ^= 0x01;
+    Bytes scratch(plaintext.size());
+    EXPECT_FALSE(gcm.open(iv, aad, sealed).has_value()) << "flip=" << flip;
+    EXPECT_FALSE(gcm.open_reference(iv, aad, sealed).has_value()) << "flip=" << flip;
+    EXPECT_FALSE(gcm.open_into(iv, aad, sealed, scratch)) << "flip=" << flip;
+    sealed[flip] ^= 0x01;
+  }
+}
+
+// --------------------------------------------------------------- mod_exp
+
+bn::BigInt random_bigint(crypto::Drbg& rng, std::size_t bytes) {
+  return bn::BigInt::from_bytes(rng.bytes(bytes));
+}
+
+TEST(CryptoDiff, ModExpMatchesReferenceOddModulus) {
+  crypto::Drbg rng("diff-modexp-odd", 8);
+  for (int trial = 0; trial < 8; ++trial) {
+    Bytes mod_bytes = rng.bytes(64);
+    mod_bytes[0] |= 0x80;
+    mod_bytes[63] |= 1;  // odd: the Montgomery sliding-window path
+    const bn::BigInt modulus = bn::BigInt::from_bytes(mod_bytes);
+    const bn::BigInt base = random_bigint(rng, 64) % modulus;
+    const bn::BigInt exponent = random_bigint(rng, 64);
+    EXPECT_EQ(base.mod_exp(exponent, modulus), base.mod_exp_reference(exponent, modulus))
+        << "trial " << trial;
+  }
+}
+
+TEST(CryptoDiff, ModExpMatchesReferenceEvenModulus) {
+  crypto::Drbg rng("diff-modexp-even", 9);
+  for (int trial = 0; trial < 4; ++trial) {
+    Bytes mod_bytes = rng.bytes(48);
+    mod_bytes[0] |= 0x80;
+    mod_bytes[47] &= 0xfe;  // even: the non-Montgomery fallback
+    const bn::BigInt modulus = bn::BigInt::from_bytes(mod_bytes);
+    const bn::BigInt base = random_bigint(rng, 48) % modulus;
+    const bn::BigInt exponent = random_bigint(rng, 24);
+    EXPECT_EQ(base.mod_exp(exponent, modulus), base.mod_exp_reference(exponent, modulus))
+        << "trial " << trial;
+  }
+}
+
+TEST(CryptoDiff, ModExpEdgeExponents) {
+  crypto::Drbg rng("diff-modexp-edge", 10);
+  Bytes mod_bytes = rng.bytes(64);
+  mod_bytes[0] |= 0x80;
+  mod_bytes[63] |= 1;
+  const bn::BigInt modulus = bn::BigInt::from_bytes(mod_bytes);
+  const bn::BigInt base = random_bigint(rng, 64) % modulus;
+  // Exponents chosen for the sliding window's boundaries: 0, 1, a window of
+  // all ones (31 = 0b11111), one bit beyond a window (32), a lone high bit,
+  // and runs of zeros between set bits.
+  std::vector<bn::BigInt> exponents = {bn::BigInt(0),  bn::BigInt(1),  bn::BigInt(2),
+                                       bn::BigInt(31), bn::BigInt(32), bn::BigInt(33),
+                                       bn::BigInt(0x80000000ull)};
+  Bytes lone_high(64, 0);
+  lone_high[0] = 0x80;
+  exponents.push_back(bn::BigInt::from_bytes(lone_high));
+  Bytes sparse(64, 0);
+  sparse[0] = 0x81;
+  sparse[63] = 0x01;
+  exponents.push_back(bn::BigInt::from_bytes(sparse));
+  for (std::size_t i = 0; i < exponents.size(); ++i) {
+    EXPECT_EQ(base.mod_exp(exponents[i], modulus),
+              base.mod_exp_reference(exponents[i], modulus))
+        << "exponent #" << i;
+  }
+}
+
+}  // namespace
+}  // namespace mbtls
