@@ -28,6 +28,9 @@ step "mbtls-lint: src/ tests/ tools/ bench/"
 ./build/tools/lint/mbtls-lint src tests tools bench
 echo "lint clean"
 
+step "chaos: fault-injection pass (ctest -R Chaos)"
+ctest --preset default -R 'Chaos\.' --output-on-failure
+
 step "bench: quick run + JSON emission (scripts/bench.sh --quick)"
 scripts/bench.sh --quick --out /tmp/mbtls-bench-check
 

@@ -36,6 +36,39 @@ void ClientSession::fail(const std::string& message) {
   error_ = message;
 }
 
+void ClientSession::emit_fatal_alert(tls::AlertDescription description) {
+  const Bytes body{static_cast<std::uint8_t>(tls::AlertLevel::kFatal),
+                   static_cast<std::uint8_t>(description)};
+  if (data_path_) {
+    append(out_, data_path_->seal_c2s(tls::ContentType::kAlert, body));
+  } else {
+    // No keys yet: the alert goes out in the clear, like TLS handshake
+    // alerts do. Middleboxes relay unrecognized plaintext alerts verbatim.
+    append(out_, tls::frame_plaintext_record(tls::ContentType::kAlert, body));
+  }
+}
+
+bool ClientSession::handshake_expired() {
+  if (status_ != SessionStatus::kHandshaking) return false;
+  emit_fatal_alert(tls::AlertDescription::kHandshakeFailure);
+  fallback_wanted_ = options_.fallback_to_direct_tls;
+  fail("handshake deadline exceeded");
+  return true;
+}
+
+void ClientSession::abort(const std::string& reason) {
+  if (status_ == SessionStatus::kFailed || status_ == SessionStatus::kClosed) return;
+  emit_fatal_alert(tls::AlertDescription::kInternalError);
+  fail(reason);
+}
+
+void ClientSession::transport_closed() {
+  if (status_ == SessionStatus::kClosed || status_ == SessionStatus::kFailed) return;
+  fail(status_ == SessionStatus::kHandshaking
+           ? "transport closed during handshake"
+           : "transport closed without close_notify");
+}
+
 void ClientSession::drain_primary() {
   append(out_, primary_.take_output());
   if (primary_.failed()) fail("primary handshake: " + primary_.error_message());
@@ -196,12 +229,17 @@ void ClientSession::handle_data_record(const tls::Record& record) {
         fail("alert authentication failed");
         return;
       }
-      if (opened->size() == 2 &&
-          (*opened)[1] == static_cast<std::uint8_t>(tls::AlertDescription::kCloseNotify)) {
+      const auto alert = parse_alert(*opened);
+      if (!alert) {
+        // Truncated or garbled alert bodies are protocol errors; indexing
+        // into them blindly would misread (or overrun) a 1-byte record.
+        fail("malformed alert record");
+        return;
+      }
+      if (alert->is_close_notify()) {
         status_ = SessionStatus::kClosed;
-      } else if (opened->size() == 2 &&
-                 (*opened)[0] == static_cast<std::uint8_t>(tls::AlertLevel::kFatal)) {
-        fail("peer alert");
+      } else if (alert->level == tls::AlertLevel::kFatal) {
+        fail(std::string("peer alert: ") + tls::to_string(alert->description));
       }
       break;
     }

@@ -24,6 +24,16 @@ class ClientSession {
     bool require_middlebox_attestation = false;
     Bytes expected_middlebox_measurement;
     ApprovalCallback approve;  // default: accept every verified middlebox
+
+    /// Handshake deadline in microseconds of virtual time, enforced by the
+    /// transport binding (sans-IO sessions have no clock of their own).
+    /// 0 disables. A stalled middlebox then yields a fatal alert and a clean
+    /// failure instead of a silent hang.
+    std::uint64_t handshake_timeout = 0;
+    /// P5 degradation path: when the deadline fires, ask the owner to redial
+    /// the origin directly with a plain end-to-end TLS session (see
+    /// FallbackClient in mbtls/transport.h) instead of giving up for good.
+    bool fallback_to_direct_tls = false;
   };
 
   explicit ClientSession(Options options);
@@ -38,10 +48,28 @@ class ClientSession {
   Bytes take_app_data();
   void close();
 
+  /// Deadline hook, driven off the virtual clock by the transport layer: if
+  /// the handshake is still in flight, emit a fatal handshake_failure alert,
+  /// fail the session, and return true (no-op otherwise).
+  bool handshake_expired();
+
+  /// Explicit watchdog abort: emit a fatal alert (sealed when keys exist)
+  /// and fail with `reason`. Idempotent once terminal.
+  void abort(const std::string& reason);
+
+  /// The transport died without a close_notify (peer RST, retransmit
+  /// exhaustion, mid-handshake FIN). Anything but a cleanly closed session
+  /// becomes an explicit failure — never a hang, never a silent truncation.
+  void transport_closed();
+
   SessionStatus status() const { return status_; }
   bool established() const { return status_ == SessionStatus::kEstablished; }
   bool failed() const { return status_ == SessionStatus::kFailed; }
   const std::string& error_message() const { return error_; }
+
+  /// True once a deadline expiry requested the configured direct-TLS
+  /// fallback; the transport owner performs the redial.
+  bool wants_fallback() const { return fallback_wanted_; }
 
   /// Client-side middleboxes in path order (closest to the server first).
   std::vector<MiddleboxDescriptor> middleboxes() const;
@@ -63,6 +91,7 @@ class ClientSession {
   void maybe_finish_setup();
   void distribute_keys();
   void fail(const std::string& message);
+  void emit_fatal_alert(tls::AlertDescription description);
 
   Options options_;
   tls::Engine primary_;
@@ -74,6 +103,7 @@ class ClientSession {
   std::optional<HopDuplex> data_path_;  // hop adjacent to the client
   SessionStatus status_ = SessionStatus::kHandshaking;
   std::string error_;
+  bool fallback_wanted_ = false;
 };
 
 }  // namespace mbtls::mb

@@ -176,6 +176,22 @@ void Middlebox::install_keys(const tls::KeyMaterialMsg& msg) {
   flush_buffered();
 }
 
+bool Middlebox::handshake_expired() {
+  if (joined_ || mode_ == Mode::kRelay) return false;
+  // Half-joined past the deadline (secondary handshake or key material
+  // stalled): step out of the way. Buffered records are forwarded verbatim;
+  // the endpoints' MACs and deadlines arbitrate from here.
+  demote_to_relay();
+  return true;
+}
+
+void Middlebox::note_alert(ByteView plaintext, bool client_to_server) {
+  const auto alert = parse_alert(plaintext);
+  if (alert && alert->is_close_notify()) {
+    (client_to_server ? close_seen_c2s_ : close_seen_s2c_) = true;
+  }
+}
+
 void Middlebox::demote_to_relay() {
   mode_ = Mode::kRelay;
   secondary_.reset();
@@ -218,6 +234,8 @@ void Middlebox::reprotect_c2s(tls::Record& record) {
   if (record.type == tls::ContentType::kApplicationData && options_.processor) {
     processed = options_.processor(/*client_to_server=*/true, payload);
     payload = processed;
+  } else if (record.type == tls::ContentType::kAlert) {
+    note_alert(payload, /*client_to_server=*/true);
   }
   bytes_processed_ += payload.size();
   ++records_reprotected_;
@@ -235,6 +253,8 @@ void Middlebox::reprotect_s2c(tls::Record& record) {
   if (record.type == tls::ContentType::kApplicationData && options_.processor) {
     processed = options_.processor(/*client_to_server=*/false, payload);
     payload = processed;
+  } else if (record.type == tls::ContentType::kAlert) {
+    note_alert(payload, /*client_to_server=*/false);
   }
   bytes_processed_ += payload.size();
   ++records_reprotected_;
@@ -297,6 +317,11 @@ void Middlebox::handle_downstream_record(Bytes raw) {
     case tls::ContentType::kAlert:
       if (joined_) {
         reprotect_c2s(record);
+      } else if (mode_ == Mode::kJoining && secondary_ && secondary_->handshake_done()) {
+        // A hop-sealed alert racing our key material (e.g. close_notify right
+        // after False-Start data): hold it in order with that data — relaying
+        // it raw would reach the next hop under the wrong keys.
+        buffered_data_.push_back({true, record, std::move(raw)});
       } else {
         append(to_server_, raw);
       }
@@ -378,6 +403,8 @@ void Middlebox::handle_upstream_record(Bytes raw) {
     case tls::ContentType::kAlert:
       if (joined_) {
         reprotect_s2c(record);
+      } else if (mode_ == Mode::kJoining && secondary_ && secondary_->handshake_done()) {
+        buffered_data_.push_back({false, record, std::move(raw)});
       } else {
         // A fatal alert during the handshake may mean a strict legacy server
         // choked on our announcement (§3.4): remember that.

@@ -54,6 +54,12 @@ class Middlebox {
     /// hellos), so the one session ID the shared ClientHello carries lets
     /// each party resume its own sub-handshake.
     tls::SessionCache* session_cache = nullptr;
+    /// Join deadline in microseconds of virtual time (0 = none), enforced by
+    /// the transport binding: a middlebox whose secondary handshake or key
+    /// material stalls demotes itself to a transparent relay instead of
+    /// sitting half-joined forever (the endpoints' own deadlines and MACs
+    /// then decide the session's fate).
+    std::uint64_t handshake_timeout = 0;
   };
 
   explicit Middlebox(Options options);
@@ -76,6 +82,16 @@ class Middlebox {
   std::uint8_t subchannel() const { return subchannel_; }
   const std::string& name() const { return options_.name; }
 
+  /// Join-deadline hook (see Options::handshake_timeout): if still
+  /// half-joined, demote to relay and return true.
+  bool handshake_expired();
+
+  /// Hop-by-hop shutdown visibility: close_notify alerts opened on the
+  /// reprotect path are recognized (not treated as opaque data) and
+  /// re-protected onward, so a clean endpoint shutdown traverses every hop.
+  bool saw_close_notify_from_client() const { return close_seen_c2s_; }
+  bool saw_close_notify_from_server() const { return close_seen_s2c_; }
+
   std::uint64_t records_reprotected() const { return records_reprotected_; }
   std::uint64_t bytes_processed() const { return bytes_processed_; }
   std::uint64_t auth_failures() const { return auth_failures_; }
@@ -93,6 +109,7 @@ class Middlebox {
   void maybe_cache_session();
   void reprotect_c2s(tls::Record& record);  // decrypts record.payload in place
   void reprotect_s2c(tls::Record& record);
+  void note_alert(ByteView plaintext, bool client_to_server);
   void flush_buffered();
   void demote_to_relay();
   Bytes& endpoint_out() {
@@ -107,6 +124,8 @@ class Middlebox {
   std::uint8_t subchannel_ = 0;
   bool joined_ = false;
   bool observed_legacy_peer_ = false;
+  bool close_seen_c2s_ = false;
+  bool close_seen_s2c_ = false;
 
   // Discovery bookkeeping.
   std::uint8_t max_subchannel_seen_upstream_ = 0;   // client side assignment

@@ -21,6 +21,11 @@ class ServerSession {
     Bytes expected_middlebox_measurement;
     std::vector<x509::Certificate> middlebox_trust_anchors;  // empty = tls.trust_anchors
     ApprovalCallback approve;
+
+    /// Handshake deadline in microseconds of virtual time (0 = none); see
+    /// ClientSession::Options::handshake_timeout. Protects the server from
+    /// half-open sessions whose middlebox died mid-handshake.
+    std::uint64_t handshake_timeout = 0;
   };
 
   explicit ServerSession(Options options);
@@ -31,6 +36,15 @@ class ServerSession {
   void send(ByteView application_data);
   Bytes take_app_data();
   void close();
+
+  /// Deadline hook (see ClientSession::handshake_expired).
+  bool handshake_expired();
+
+  /// Explicit watchdog abort: fatal alert + failure with `reason`.
+  void abort(const std::string& reason);
+
+  /// Transport died without close_notify: explicit failure unless closed.
+  void transport_closed();
 
   SessionStatus status() const { return status_; }
   bool established() const { return status_ == SessionStatus::kEstablished; }
@@ -60,6 +74,7 @@ class ServerSession {
   void maybe_finish_setup();
   void distribute_keys();
   void fail(const std::string& message);
+  void emit_fatal_alert(tls::AlertDescription description);
 
   Options options_;
   tls::Engine primary_;

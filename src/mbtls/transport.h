@@ -1,6 +1,12 @@
 // Glue between the sans-IO mbTLS components and the simulated network's TCP
 // sockets. Each binder wires a component's input to socket data events and
 // flushes its pending output back to the socket after every event.
+//
+// The bindings also own the failure surface the sans-IO cores cannot see:
+// virtual-time handshake deadlines (sessions have no clock), propagation of
+// abnormal TCP teardown into explicit session errors, and the P5 degradation
+// path (FallbackClient) that redials the origin directly when the middlebox
+// path dies mid-handshake.
 #pragma once
 
 #include "mbtls/client.h"
@@ -21,18 +27,46 @@ class SocketBinding {
       session_.feed(data);
       flush();
     };
+    socket_.on_close = [this] {
+      // Abnormal or premature teardown must surface as a session error, not
+      // a hang (sessions that already saw close_notify ignore this).
+      if constexpr (requires { session_.transport_closed(); }) {
+        session_.transport_closed();
+      }
+    };
   }
 
   /// Push any pending output (call after start() or send()).
   void flush() {
     const Bytes out = session_.take_output();
-    if (!out.empty() && socket_.established()) {
+    if (out.empty()) return;
+    if (!socket_.writable()) return;  // output raced a teardown: nowhere to go
+    if (socket_.established()) {
       socket_.send(out);
-    } else if (!out.empty()) {
+    } else {
       pending_ = concat({pending_, out});
       socket_.on_connect = [this] { drain_pending(); };
     }
   }
+
+  /// Enforce the session's handshake deadline on the virtual clock: one
+  /// event `timeout` from now; if the session is still handshaking it emits
+  /// its fatal alert (flushed here) and the socket is torn down.
+  void arm_handshake_deadline(net::Simulator& sim, net::Time timeout) {
+    if (timeout == 0) return;
+    sim.schedule(timeout, [this] {
+      if (session_.handshake_expired()) {
+        flush();
+        if (socket_.established()) {
+          socket_.close();  // FIN after the alert drains
+        } else {
+          socket_.reset();
+        }
+      }
+    });
+  }
+
+  net::Socket& socket() { return socket_; }
 
  private:
   void drain_pending() {
@@ -62,23 +96,39 @@ class MiddleboxBinding {
       flush();
     };
     up_.on_connect = [this] { flush(); };
+    // A dead segment on one side must kill the other, so neither endpoint is
+    // left talking to a silently absent peer.
+    down_.on_close = [this] {
+      if (!up_.closed()) up_.close();
+    };
+    up_.on_close = [this] {
+      if (!down_.closed()) down_.close();
+    };
   }
 
   void flush() {
     const Bytes to_server = mbox_.take_to_server();
-    if (!to_server.empty()) {
+    if (!to_server.empty() && up_.writable()) {
       if (up_.established()) {
         up_.send(to_server);
       } else {
         pending_up_ = concat({pending_up_, to_server});
       }
     }
-    if (!pending_up_.empty() && up_.established()) {
+    if (!pending_up_.empty() && up_.established() && up_.writable()) {
       up_.send(pending_up_);
       pending_up_.clear();
     }
     const Bytes to_client = mbox_.take_to_client();
-    if (!to_client.empty()) down_.send(to_client);
+    if (!to_client.empty() && down_.writable()) down_.send(to_client);
+  }
+
+  /// Enforce the middlebox's join deadline (demote-to-relay on expiry).
+  void arm_join_deadline(net::Simulator& sim, net::Time timeout) {
+    if (timeout == 0) return;
+    sim.schedule(timeout, [this] {
+      if (mbox_.handshake_expired()) flush();
+    });
   }
 
  private:
@@ -86,6 +136,94 @@ class MiddleboxBinding {
   net::Socket& down_;
   net::Socket& up_;
   Bytes pending_up_;
+};
+
+/// The paper's P5 degradation path as a transport-level policy: dial the
+/// middlebox path first; if that mbTLS handshake misses its deadline or its
+/// transport dies, tear it down (fatal alert + reset) and redial the origin
+/// directly with a fresh end-to-end TLS session that does not announce
+/// mbTLS. One fallback attempt — a failed direct dial is a hard failure.
+class FallbackClient {
+ public:
+  struct Config {
+    net::NodeId proxy = 0;  // TCP-level middlebox to dial first
+    net::Port proxy_port = 443;
+    net::NodeId origin = 0;  // direct-redial target
+    net::Port origin_port = 443;
+    ClientSession::Options options;  // options.handshake_timeout paces both dials
+  };
+
+  FallbackClient(net::Host& host, Config config) : host_(host), config_(std::move(config)) {}
+
+  /// Dial the middlebox path and arm the deadline.
+  void start() { dial(config_.proxy, config_.proxy_port, /*announce=*/true); }
+
+  /// The currently active session (the direct one after a fallback).
+  ClientSession& session() { return *session_; }
+  const ClientSession& session() const { return *session_; }
+  bool fell_back() const { return fell_back_; }
+  net::Socket& socket() { return *socket_; }
+
+  /// Push pending session output to the active socket (call after send()).
+  void flush() {
+    if (binding_) binding_->flush();
+  }
+
+ private:
+  void dial(net::NodeId node, net::Port port, bool announce) {
+    const std::uint64_t attempt = ++attempt_;
+    // Unhook the previous attempt before tearing it down so stale socket
+    // events cannot reach a destroyed binding or session.
+    binding_.reset();
+    if (socket_) {
+      socket_->on_connect = nullptr;
+      socket_->on_data = nullptr;
+      socket_->on_close = nullptr;
+    }
+    ClientSession::Options opts = config_.options;
+    opts.announce_mbtls = announce;
+    if (!announce) opts.tls.rng_label += "/fallback";  // fresh randomness on redial
+    session_ = std::make_unique<ClientSession>(std::move(opts));
+    socket_ = &host_.connect(node, port);
+    binding_ = std::make_unique<SocketBinding<ClientSession>>(*session_, *socket_);
+    socket_->on_connect = [this] {
+      session_->start();
+      binding_->flush();
+    };
+    socket_->on_close = [this, attempt] {
+      if (attempt != attempt_) return;
+      session_->transport_closed();
+      maybe_fall_back();
+    };
+    if (config_.options.handshake_timeout != 0) {
+      host_.simulator().schedule(config_.options.handshake_timeout, [this, attempt] {
+        if (attempt != attempt_) return;
+        if (session_->handshake_expired()) {
+          binding_->flush();
+          if (socket_->established()) {
+            socket_->close();
+          } else {
+            socket_->reset();
+          }
+          maybe_fall_back();
+        }
+      });
+    }
+  }
+
+  void maybe_fall_back() {
+    if (fell_back_ || !session_->failed() || !config_.options.fallback_to_direct_tls) return;
+    fell_back_ = true;
+    dial(config_.origin, config_.origin_port, /*announce=*/false);
+  }
+
+  net::Host& host_;
+  Config config_;
+  std::unique_ptr<ClientSession> session_;
+  std::unique_ptr<SocketBinding<ClientSession>> binding_;
+  net::Socket* socket_ = nullptr;
+  std::uint64_t attempt_ = 0;
+  bool fell_back_ = false;
 };
 
 }  // namespace mbtls::mb

@@ -51,6 +51,14 @@ std::optional<MutableByteView> HopDuplex::open_s2c_in_place(tls::ContentType typ
   return s2c_.open_in_place(type, body);
 }
 
+std::optional<Alert> parse_alert(ByteView body) {
+  if (body.size() != 2) return std::nullopt;
+  const auto level = static_cast<tls::AlertLevel>(body[0]);
+  if (level != tls::AlertLevel::kWarning && level != tls::AlertLevel::kFatal)
+    return std::nullopt;
+  return Alert{level, static_cast<tls::AlertDescription>(body[1])};
+}
+
 tls::HopKeys generate_hop_keys(std::size_t key_len, crypto::Drbg& rng) {
   tls::HopKeys keys;
   keys.client_to_server_key = rng.bytes(key_len);

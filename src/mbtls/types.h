@@ -68,4 +68,18 @@ using ApprovalCallback = std::function<bool(const MiddleboxDescriptor&)>;
 /// Terminal session status.
 enum class SessionStatus { kHandshaking, kEstablished, kClosed, kFailed };
 
+/// A decoded two-byte TLS alert body.
+struct Alert {
+  tls::AlertLevel level;
+  tls::AlertDescription description;
+  bool is_close_notify() const {
+    return description == tls::AlertDescription::kCloseNotify;
+  }
+};
+
+/// Strict alert decoding: exactly two bytes and a valid level byte, or
+/// nullopt. A truncated one-byte alert must never be indexed past its end or
+/// misread as close_notify — callers treat nullopt as a protocol error.
+std::optional<Alert> parse_alert(ByteView body);
+
 }  // namespace mbtls::mb

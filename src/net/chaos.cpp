@@ -1,0 +1,122 @@
+#include "net/chaos.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace mbtls::net {
+
+namespace {
+
+// Held packets re-enter the network at the link's far end (past the tap), so
+// a released packet is never re-judged by the tap that held it. Staggered
+// one-microsecond delays keep release order deterministic and distinct.
+void release(Network& net, NodeId receiver, Packet packet, Time extra_delay) {
+  net.simulator().schedule(extra_delay, [&net, receiver, p = std::move(packet)]() mutable {
+    net.inject(receiver, std::move(p));
+  });
+}
+
+struct ReorderState {
+  explicit ReorderState(crypto::Drbg r) : rng(std::move(r)) {}
+  crypto::Drbg rng;
+  std::vector<Packet> held[2];        // per direction
+  std::uint64_t flush_generation[2] = {0, 0};
+};
+
+void reorder_flush(Network& net, NodeId receiver, ReorderState& st, int dir) {
+  auto& held = st.held[dir];
+  ++st.flush_generation[dir];
+  // Fisher-Yates off the tap's own stream keeps the permutation seeded.
+  for (std::size_t i = held.size(); i > 1; --i) {
+    std::swap(held[i - 1], held[st.rng.uniform(i)]);
+  }
+  Time delay = 1;
+  for (auto& p : held) release(net, receiver, std::move(p), delay++);
+  held.clear();
+}
+
+}  // namespace
+
+LinkTap ChaosTap::corrupt_byte(crypto::Drbg rng, double p) {
+  auto st = std::make_shared<crypto::Drbg>(std::move(rng));
+  return [st, p](Packet& packet, bool) {
+    if (!packet.payload.empty() && st->real() < p) {
+      const std::size_t index = st->uniform(packet.payload.size());
+      packet.payload[index] ^= static_cast<std::uint8_t>(1 + st->uniform(255));
+    }
+    return TapVerdict::kPass;
+  };
+}
+
+LinkTap ChaosTap::truncate(crypto::Drbg rng, double p) {
+  auto st = std::make_shared<crypto::Drbg>(std::move(rng));
+  return [st, p](Packet& packet, bool) {
+    if (!packet.payload.empty() && st->real() < p) {
+      packet.payload.resize(st->uniform(packet.payload.size()));
+    }
+    return TapVerdict::kPass;
+  };
+}
+
+LinkTap ChaosTap::duplicate(Network& net, NodeId a, NodeId b, crypto::Drbg rng, double p) {
+  auto st = std::make_shared<crypto::Drbg>(std::move(rng));
+  return [st, &net, a, b, p](Packet& packet, bool a_to_b) {
+    if (st->real() < p) {
+      const Time jitter = 1 + st->uniform(2 * kMillisecond);
+      release(net, a_to_b ? b : a, packet, jitter);
+    }
+    return TapVerdict::kPass;
+  };
+}
+
+LinkTap ChaosTap::reorder_within_window(Network& net, NodeId a, NodeId b, crypto::Drbg rng,
+                                        std::size_t window, Time max_hold) {
+  auto st = std::make_shared<ReorderState>(std::move(rng));
+  return [st, &net, a, b, window, max_hold](Packet& packet, bool a_to_b) {
+    const int dir = a_to_b ? 0 : 1;
+    const NodeId receiver = a_to_b ? b : a;
+    st->held[dir].push_back(packet);
+    if (st->held[dir].size() == 1) {
+      // A partial window must not wedge a quiet link: flush on a timer too.
+      const std::uint64_t generation = st->flush_generation[dir];
+      net.simulator().schedule(max_hold, [st, &net, receiver, dir, generation] {
+        if (st->flush_generation[dir] == generation) reorder_flush(net, receiver, *st, dir);
+      });
+    }
+    if (st->held[dir].size() >= window) reorder_flush(net, receiver, *st, dir);
+    return TapVerdict::kDrop;
+  };
+}
+
+LinkTap ChaosTap::stall_for_duration(Network& net, NodeId a, NodeId b, Time start_after,
+                                     Time duration) {
+  struct StallState {
+    std::vector<std::pair<Packet, bool>> held;  // packet + a_to_b
+    bool released = false;
+  };
+  auto st = std::make_shared<StallState>();
+  const Time begin = net.simulator().now() + start_after;
+  net.simulator().schedule(start_after + duration, [st, &net, a, b] {
+    st->released = true;
+    Time delay = 1;
+    for (auto& [packet, a_to_b] : st->held) {
+      release(net, a_to_b ? b : a, std::move(packet), delay++);
+    }
+    st->held.clear();
+  });
+  return [st, &net, begin](Packet& packet, bool a_to_b) {
+    if (net.simulator().now() < begin || st->released) return TapVerdict::kPass;
+    st->held.emplace_back(packet, a_to_b);
+    return TapVerdict::kDrop;
+  };
+}
+
+LinkTap ChaosTap::blackhole_after(std::size_t n) {
+  auto seen = std::make_shared<std::size_t>(0);
+  return [seen, n](Packet&, bool) {
+    return (*seen)++ < n ? TapVerdict::kPass : TapVerdict::kDrop;
+  };
+}
+
+}  // namespace mbtls::net

@@ -1,0 +1,52 @@
+// Deterministic fault injection for the simulated network ("chaos taps").
+//
+// Each factory returns a LinkTap implementing one hostile-path failure mode;
+// taps compose by installing several on the same link (they run in install
+// order). Every randomized tap draws from its own DRBG stream, so a chaos
+// run is reproducible bit-for-bit from its seed: same seed, same faults,
+// same outcome. That is what lets tests/test_chaos.cpp assert the repo-wide
+// robustness invariant — every mbTLS session under chaos either completes
+// with intact data or fails with an explicit error in bounded virtual time.
+#pragma once
+
+#include "net/network.h"
+
+namespace mbtls::net {
+
+class ChaosTap {
+ public:
+  /// XOR one random payload byte with a random nonzero mask, with
+  /// probability `p` per data-bearing packet. Headers stay intact (the
+  /// simplified TCP has no checksum, and corrupting seq/ack would model a
+  /// fault real checksums catch); this is the corruption that slips past
+  /// TCP and that the record-layer AEAD must be the arbiter of.
+  static LinkTap corrupt_byte(crypto::Drbg rng, double p);
+
+  /// Cut the payload to a random shorter length with probability `p` per
+  /// data-bearing packet. TCP sees a short segment, leaves a sequence gap,
+  /// and recovers via retransmission.
+  static LinkTap truncate(crypto::Drbg rng, double p);
+
+  /// With probability `p`, deliver a second copy of the packet to the far
+  /// end of the link after a small random extra delay. Receivers must
+  /// de-duplicate by sequence number.
+  static LinkTap duplicate(Network& net, NodeId a, NodeId b, crypto::Drbg rng, double p);
+
+  /// Hold packets (per direction); once `window` are held — or `max_hold`
+  /// of virtual time passes — release the batch in a DRBG-shuffled order.
+  static LinkTap reorder_within_window(Network& net, NodeId a, NodeId b, crypto::Drbg rng,
+                                       std::size_t window, Time max_hold = 50 * kMillisecond);
+
+  /// Queue every packet crossing the link during the stall window, which
+  /// opens `start_after` after installation and lasts `duration`; the
+  /// backlog is released in order when the window closes. Models a hop that
+  /// freezes (GC pause, failover) and then comes back.
+  static LinkTap stall_for_duration(Network& net, NodeId a, NodeId b, Time start_after,
+                                    Time duration);
+
+  /// Pass the first `n` packets (both directions combined), then drop
+  /// everything forever — a hop that silently dies mid-session.
+  static LinkTap blackhole_after(std::size_t n);
+};
+
+}  // namespace mbtls::net

@@ -1,34 +1,38 @@
 #include "net/simulator.h"
 
-#include <stdexcept>
-
 namespace mbtls::net {
 
 void Simulator::schedule(Time delay, std::function<void()> fn) {
   queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
 }
 
-void Simulator::run(std::size_t max_events) {
+RunStatus Simulator::run(std::size_t max_events) {
+  std::size_t fired = 0;
   while (!queue_.empty()) {
-    if (events_processed_ >= max_events)
-      throw std::runtime_error("Simulator: event budget exhausted (runaway?)");
+    if (fired >= max_events) return RunStatus::kBudgetExhausted;
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.at;
     ++events_processed_;
+    ++fired;
     ev.fn();
   }
+  return RunStatus::kDrained;
 }
 
-void Simulator::run_until(Time deadline) {
+RunStatus Simulator::run_until(Time deadline, std::size_t max_events) {
+  std::size_t fired = 0;
   while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (fired >= max_events) return RunStatus::kBudgetExhausted;
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.at;
     ++events_processed_;
+    ++fired;
     ev.fn();
   }
   now_ = deadline;
+  return queue_.empty() ? RunStatus::kDrained : RunStatus::kDeadlineReached;
 }
 
 }  // namespace mbtls::net

@@ -18,6 +18,15 @@ constexpr Time kMicrosecond = 1;
 constexpr Time kMillisecond = 1000;
 constexpr Time kSecond = 1000 * 1000;
 
+/// Why a run() call returned. Callers that care about liveness (the chaos
+/// harness, negative-path tests) must distinguish a drained queue from the
+/// runaway guard tripping; callers that don't may ignore the result.
+enum class RunStatus {
+  kDrained,           // event queue is empty
+  kDeadlineReached,   // run_until: clock advanced to the deadline
+  kBudgetExhausted,   // max_events fired with work still queued (runaway?)
+};
+
 class Simulator {
  public:
   Time now() const { return now_; }
@@ -28,10 +37,13 @@ class Simulator {
   void schedule(Time delay, std::function<void()> fn);
 
   /// Run until the event queue drains or `max_events` fire (runaway guard).
-  void run(std::size_t max_events = 10'000'000);
+  /// Returns kDrained or kBudgetExhausted — a budget-exhausted run leaves the
+  /// remaining events queued so the caller can inspect or resume.
+  RunStatus run(std::size_t max_events = 10'000'000);
 
-  /// Run until the virtual clock would pass `deadline`.
-  void run_until(Time deadline);
+  /// Run until the virtual clock would pass `deadline` (or `max_events`
+  /// fire). Returns kDrained, kDeadlineReached, or kBudgetExhausted.
+  RunStatus run_until(Time deadline, std::size_t max_events = 10'000'000);
 
   bool idle() const { return queue_.empty(); }
   std::size_t events_processed() const { return events_processed_; }

@@ -143,7 +143,7 @@ void Socket::transmit_pending() {
 
 void Socket::arm_timer() {
   const std::uint64_t gen = ++timer_generation_;
-  host_.simulator().schedule(kRetransmitTimeout, [this, gen] {
+  host_.simulator().schedule(rto_, [this, gen] {
     if (gen == timer_generation_) on_timeout();
   });
 }
@@ -151,7 +151,10 @@ void Socket::arm_timer() {
 void Socket::on_timeout() {
   if (state_ == State::kClosed || unacked_.empty()) return;
   if (++retransmit_count_ > kMaxRetransmits) {
-    become_closed();
+    // The peer is unreachable. Tell it so (best effort) and surface the
+    // give-up as an explicit error rather than a silent close.
+    send_segment(TcpFlags{.rst = true}, snd_nxt_, {});
+    fail_connection(SocketError::kRetransmitExhausted);
     return;
   }
   // Go-back-N: resend everything outstanding.
@@ -167,6 +170,9 @@ void Socket::on_timeout() {
     }
     send_segment(flags, seg.seq, seg.payload);
   }
+  // Exponential backoff: each consecutive loss doubles the wait, so a dead
+  // path costs bounded virtual time while a congested one is not hammered.
+  rto_ = std::min(rto_ * 2, kMaxRto);
   arm_timer();
 }
 
@@ -183,7 +189,19 @@ void Socket::deliver_in_order() {
   }
 }
 
+void Socket::fail_connection(SocketError error) {
+  if (state_ == State::kClosed) return;
+  error_ = error;
+  if (on_error) {
+    auto cb = std::move(on_error);
+    on_error = nullptr;
+    cb(error);
+  }
+  become_closed();
+}
+
 void Socket::become_closed() {
+  if (state_ == State::kClosed) return;  // on_close fires exactly once
   state_ = State::kClosed;
   unacked_.clear();
   out_of_order_.clear();
@@ -198,7 +216,7 @@ void Socket::become_closed() {
 void Socket::handle_segment(const Packet& p) {
   if (state_ == State::kClosed) return;
   if (p.flags.rst) {
-    become_closed();
+    fail_connection(SocketError::kPeerReset);
     return;
   }
 
@@ -237,6 +255,7 @@ void Socket::handle_segment(const Packet& p) {
   if (p.flags.ack && p.ack > snd_una_) {
     snd_una_ = p.ack;
     retransmit_count_ = 0;
+    rto_ = kInitialRto;  // forward progress: reset the backoff
     while (!unacked_.empty() &&
            unacked_.front().seq + std::max<std::size_t>(unacked_.front().payload.size(),
                                                         unacked_.front().fin ? 1 : 0) <=

@@ -17,6 +17,14 @@ namespace mbtls::net {
 
 class Host;
 
+/// Why a socket reached kClosed. Anything but kNone is an abnormal teardown
+/// the application must treat as an error, not a clean shutdown.
+enum class SocketError : std::uint8_t {
+  kNone,                 // still open, or clean FIN teardown
+  kPeerReset,            // peer aborted with RST
+  kRetransmitExhausted,  // peer unreachable: backoff rounds all timed out
+};
+
 /// A reliable byte-stream endpoint. Obtained from Host::connect or a listener
 /// accept callback. Owned by the Host; pointers stay valid for the Host's
 /// lifetime.
@@ -33,6 +41,12 @@ class Socket {
 
   bool established() const { return state_ == State::kEstablished; }
   bool closed() const { return state_ == State::kClosed; }
+  /// send() is legal: not closed and no FIN queued. Lets applications drop
+  /// output that raced a teardown instead of tripping the send() guard.
+  bool writable() const { return state_ != State::kClosed && !fin_queued_; }
+
+  /// Terminal error cause; valid once closed() (kNone = clean teardown).
+  SocketError error() const { return error_; }
 
   NodeId remote_node() const { return remote_node_; }
   Port remote_port() const { return remote_port_; }
@@ -41,7 +55,8 @@ class Socket {
   // Application callbacks.
   std::function<void()> on_connect;
   std::function<void(ByteView)> on_data;
-  std::function<void()> on_close;   // peer FIN or RST
+  std::function<void()> on_close;             // peer FIN/RST or local give-up
+  std::function<void(SocketError)> on_error;  // abnormal teardown, before on_close
 
  private:
   friend class Host;
@@ -49,7 +64,8 @@ class Socket {
   enum class State { kSynSent, kSynReceived, kEstablished, kFinWait, kClosed };
 
   static constexpr std::size_t kMss = 1400;
-  static constexpr Time kRetransmitTimeout = 200 * kMillisecond;
+  static constexpr Time kInitialRto = 200 * kMillisecond;  // doubles per loss
+  static constexpr Time kMaxRto = 5 * kSecond;             // backoff ceiling
   static constexpr int kMaxRetransmits = 10;
 
   explicit Socket(Host& host) : host_(host) {}
@@ -61,6 +77,7 @@ class Socket {
   void arm_timer();
   void on_timeout();
   void deliver_in_order();
+  void fail_connection(SocketError error);
   void become_closed();
 
   Host& host_;
@@ -86,6 +103,8 @@ class Socket {
   bool fin_sent_ = false;
   bool peer_fin_seen_ = false;
   int retransmit_count_ = 0;
+  Time rto_ = kInitialRto;  // current retransmit timeout (exponential backoff)
+  SocketError error_ = SocketError::kNone;
   std::uint64_t timer_generation_ = 0;
 };
 

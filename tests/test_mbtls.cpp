@@ -437,6 +437,47 @@ TEST(Mbtls, CloseNotifyPropagates) {
   client.close();
   chain.pump();
   EXPECT_EQ(server.status(), SessionStatus::kClosed);
+  // The middlebox recognized the shutdown on the reprotect path rather than
+  // treating the alert as opaque bytes.
+  EXPECT_TRUE(mbox.saw_close_notify_from_client());
+  EXPECT_FALSE(mbox.saw_close_notify_from_server());
+}
+
+TEST(Mbtls, CloseNotifyPropagatesServerToClient) {
+  const auto id = make_identity("origin.example");
+  ClientSession client(client_options("origin.example"));
+  ServerSession server(server_options(id));
+  Middlebox mbox(middlebox_options("s0.example", Middlebox::Side::kServerSide));
+  Chain chain{.client = &client, .middleboxes = {&mbox}, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established());
+  server.close();
+  chain.pump();
+  EXPECT_EQ(client.status(), SessionStatus::kClosed);
+  EXPECT_TRUE(mbox.saw_close_notify_from_server());
+  EXPECT_FALSE(mbox.saw_close_notify_from_client());
+}
+
+TEST(Mbtls, CloseNotifyTraversesEveryHop) {
+  // Clean shutdown must be re-protected hop by hop through a full path —
+  // every middlebox observes it, and the far endpoint reaches kClosed.
+  const auto id = make_identity("origin.example");
+  ClientSession client(client_options("origin.example"));
+  ServerSession server(server_options(id));
+  Middlebox c0(middlebox_options("c0.example", Middlebox::Side::kClientSide));
+  Middlebox s0(middlebox_options("s0.example", Middlebox::Side::kServerSide));
+  Chain chain{.client = &client, .middleboxes = {&c0, &s0}, .server = &server};
+  client.start();
+  chain.pump();
+  ASSERT_TRUE(client.established());
+  ASSERT_TRUE(c0.joined());
+  ASSERT_TRUE(s0.joined());
+  client.close();
+  chain.pump();
+  EXPECT_EQ(server.status(), SessionStatus::kClosed);
+  EXPECT_TRUE(c0.saw_close_notify_from_client());
+  EXPECT_TRUE(s0.saw_close_notify_from_client());
 }
 
 }  // namespace

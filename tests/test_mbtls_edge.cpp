@@ -251,5 +251,81 @@ TEST(MbtlsEdge, HopDuplexRejectsMismatchedKeyLength) {
   EXPECT_THROW(HopDuplex(keys, 32), std::invalid_argument);
 }
 
+// ---------------------------------------------------------- alert hygiene
+
+TEST(MbtlsAlert, ParseRejectsTruncatedAndBogusLevels) {
+  EXPECT_FALSE(parse_alert(Bytes{}).has_value());
+  // The old code indexed body[1] on a 1-byte alert — this is the regression.
+  EXPECT_FALSE(parse_alert(Bytes{1}).has_value());
+  EXPECT_FALSE(parse_alert(Bytes{1, 0, 0}).has_value());  // oversized
+  EXPECT_FALSE(parse_alert(Bytes{0, 0}).has_value());     // level 0 invalid
+  EXPECT_FALSE(parse_alert(Bytes{3, 0}).has_value());     // level 3 invalid
+  const auto close = parse_alert(Bytes{1, 0});
+  ASSERT_TRUE(close.has_value());
+  EXPECT_TRUE(close->is_close_notify());
+  const auto fatal = parse_alert(
+      Bytes{2, static_cast<std::uint8_t>(tls::AlertDescription::kHandshakeFailure)});
+  ASSERT_TRUE(fatal.has_value());
+  EXPECT_EQ(fatal->level, tls::AlertLevel::kFatal);
+  EXPECT_FALSE(fatal->is_close_notify());
+}
+
+// In a zero-middlebox session both endpoints' data path is the bridge hop
+// derived from the shared primary keys, so a test can forge what a buggy or
+// hostile *peer* (which has the keys) would send: correctly sealed records
+// with malformed alert bodies. These must fail the session explicitly —
+// never index out of bounds, never be misread as close_notify, never be
+// silently ignored.
+struct AlertRig {
+  AlertRig()
+      : id(make_identity("alert.example")),
+        client(client_options("alert.example")),
+        server(server_options(id)) {
+    Chain chain{.client = &client, .middleboxes = {}, .server = &server};
+    client.start();
+    chain.pump();
+  }
+  HopDuplex forge() const {
+    return HopDuplex(bridge_hop_keys(client.primary().connection_keys()),
+                     client.primary().suite().key_len);
+  }
+  tls::testing::ServerIdentity id;
+  ClientSession client;
+  ServerSession server;
+};
+
+TEST(MbtlsAlert, TruncatedSealedAlertFailsClientSession) {
+  AlertRig rig;
+  ASSERT_TRUE(rig.client.established());
+  auto forge = rig.forge();
+  const Bytes one_byte{static_cast<std::uint8_t>(tls::AlertLevel::kWarning)};
+  rig.client.feed(forge.seal_s2c(tls::ContentType::kAlert, one_byte));
+  EXPECT_TRUE(rig.client.failed());
+  EXPECT_EQ(rig.client.error_message(), "malformed alert record");
+  EXPECT_NE(rig.client.status(), SessionStatus::kClosed);  // not a close_notify
+}
+
+TEST(MbtlsAlert, BogusLevelSealedAlertFailsServerSession) {
+  AlertRig rig;
+  ASSERT_TRUE(rig.server.established());
+  auto forge = rig.forge();
+  const Bytes bogus_level{0x03, 0x00};  // description says close_notify, level invalid
+  rig.server.feed(forge.seal_c2s(tls::ContentType::kAlert, bogus_level));
+  EXPECT_TRUE(rig.server.failed());
+  EXPECT_EQ(rig.server.error_message(), "malformed alert record");
+  EXPECT_NE(rig.server.status(), SessionStatus::kClosed);
+}
+
+TEST(MbtlsAlert, FatalPeerAlertSurfacesDescription) {
+  AlertRig rig;
+  ASSERT_TRUE(rig.client.established());
+  auto forge = rig.forge();
+  const Bytes fatal{static_cast<std::uint8_t>(tls::AlertLevel::kFatal),
+                    static_cast<std::uint8_t>(tls::AlertDescription::kHandshakeFailure)};
+  rig.client.feed(forge.seal_s2c(tls::ContentType::kAlert, fatal));
+  ASSERT_TRUE(rig.client.failed());
+  EXPECT_NE(rig.client.error_message().find("peer alert"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mbtls::mb

@@ -33,11 +33,36 @@ TEST(Simulator, NestedScheduling) {
   EXPECT_EQ(fired_at, 15u);
 }
 
-TEST(Simulator, RunawayGuard) {
+TEST(Simulator, RunReportsDrained) {
   Simulator sim;
-  std::function<void()> loop = [&] { sim.schedule(1, loop); };
+  sim.schedule(5, [] {});
+  EXPECT_EQ(sim.run(), RunStatus::kDrained);
+  EXPECT_EQ(sim.run(), RunStatus::kDrained);  // empty queue is also drained
+}
+
+TEST(Simulator, RunawayGuard) {
+  // A self-rescheduling event must exhaust the budget, not spin forever —
+  // and the caller must be able to tell that apart from a drained queue.
+  Simulator sim;
+  std::size_t fired = 0;
+  std::function<void()> loop = [&] {
+    ++fired;
+    sim.schedule(1, loop);
+  };
   sim.schedule(1, loop);
-  EXPECT_THROW(sim.run(1000), std::runtime_error);
+  EXPECT_EQ(sim.run(1000), RunStatus::kBudgetExhausted);
+  EXPECT_EQ(fired, 1000u);
+  // The runaway event is still queued; another bounded run hits the budget
+  // again instead of pretending the simulation finished.
+  EXPECT_EQ(sim.run(10), RunStatus::kBudgetExhausted);
+  EXPECT_EQ(fired, 1010u);
+}
+
+TEST(Simulator, RunUntilDistinguishesDrainedFromDeadline) {
+  Simulator sim;
+  sim.schedule(10, [] {});
+  EXPECT_EQ(sim.run_until(5), RunStatus::kDeadlineReached);
+  EXPECT_EQ(sim.run_until(50), RunStatus::kDrained);
 }
 
 TEST(Simulator, RunUntilStopsAtDeadline) {
@@ -326,17 +351,83 @@ TEST_F(TcpFixture, HandshakeSurvivesSynLoss) {
 }
 
 TEST_F(TcpFixture, GivesUpAfterMaxRetransmits) {
-  // Black-hole everything after the handshake.
+  // Black-hole every data segment after the handshake. The sender must give
+  // up after bounded exponential backoff, surface an explicit error (not a
+  // silent close), fire on_close exactly once, and RST the peer so the far
+  // side learns the connection is dead too.
   net.add_tap(a, b, [&](Packet& p, bool a_to_b) {
     return (a_to_b && !p.payload.empty()) ? TapVerdict::kDrop : TapVerdict::kPass;
   });
-  bool closed = false;
-  server->listen(80, [](Socket&) {});
+  int client_closes = 0;
+  SocketError client_error = SocketError::kNone;
+  int server_closes = 0;
+  SocketError server_error = SocketError::kNone;
+  server->listen(80, [&](Socket& s) {
+    s.on_error = [&](SocketError e) { server_error = e; };
+    s.on_close = [&] { ++server_closes; };
+  });
   Socket& c = client->connect(b, 80);
   c.on_connect = [&] { c.send(to_bytes(std::string_view("doomed"))); };
-  c.on_close = [&] { closed = true; };
+  c.on_error = [&](SocketError e) { client_error = e; };
+  c.on_close = [&] { ++client_closes; };
   sim.run();
-  EXPECT_TRUE(closed);
+  EXPECT_EQ(client_closes, 1);
+  EXPECT_EQ(client_error, SocketError::kRetransmitExhausted);
+  EXPECT_EQ(c.error(), SocketError::kRetransmitExhausted);
+  // The exhaustion RST crossed the (payload-only) blackhole and reset the
+  // accepted socket, so the server is not left half-open.
+  EXPECT_EQ(server_closes, 1);
+  EXPECT_EQ(server_error, SocketError::kPeerReset);
+  // Backoff bound: 200ms initial RTO doubling to a 5s cap over 10 rounds
+  // stays under ~35s of virtual time — give-up is prompt, not unbounded.
+  EXPECT_LT(sim.now(), 40 * kSecond);
+}
+
+TEST_F(TcpFixture, ExponentialBackoffSpacesRetransmits) {
+  // Record the send times of the doomed segment: gaps must double from the
+  // initial RTO and saturate at the cap.
+  std::vector<Time> sends;
+  net.add_tap(a, b, [&](Packet& p, bool a_to_b) {
+    if (a_to_b && !p.payload.empty()) {
+      sends.push_back(sim.now());
+      return TapVerdict::kDrop;
+    }
+    return TapVerdict::kPass;
+  });
+  server->listen(80, [](Socket&) {});
+  Socket& c = client->connect(b, 80);
+  c.on_connect = [&] { c.send(to_bytes(std::string_view("x"))); };
+  sim.run();
+  ASSERT_GE(sends.size(), 4u);
+  EXPECT_EQ(sends[1] - sends[0], 200 * kMillisecond);
+  EXPECT_EQ(sends[2] - sends[1], 400 * kMillisecond);
+  EXPECT_EQ(sends[3] - sends[2], 800 * kMillisecond);
+  EXPECT_EQ(sends.back() - sends[sends.size() - 2], 5 * kSecond);  // capped
+}
+
+TEST_F(TcpFixture, ConvergesUnderHeavyLoss) {
+  // 30% random loss in both directions: retransmission with backoff must
+  // still deliver the whole stream intact, in bounded virtual time.
+  Simulator lossy_sim;
+  Network lossy_net(lossy_sim, /*loss_seed=*/1234);
+  const NodeId la = lossy_net.add_node("client");
+  const NodeId lb = lossy_net.add_node("server");
+  lossy_net.add_link(la, lb, {.propagation = 10 * kMillisecond, .loss_rate = 0.3});
+  Host lossy_client(lossy_net, la);
+  Host lossy_server(lossy_net, lb);
+
+  crypto::Drbg rng("tcp-lossy", 0);
+  const Bytes blob = rng.bytes(30'000);
+  Bytes received;
+  lossy_server.listen(80, [&](Socket& s) {
+    s.on_data = [&](ByteView d) { append(received, d); };
+  });
+  Socket& c = lossy_client.connect(lb, 80);
+  c.on_connect = [&] { c.send(blob); };
+  EXPECT_EQ(lossy_sim.run(), RunStatus::kDrained);
+  EXPECT_EQ(received, blob);
+  EXPECT_EQ(c.error(), SocketError::kNone);
+  EXPECT_LT(lossy_sim.now(), 5 * 60 * kSecond);
 }
 
 }  // namespace
