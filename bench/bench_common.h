@@ -96,12 +96,31 @@ inline int trials_arg(int argc, char** argv, int fallback) {
   return fallback;
 }
 
-/// Output path from argv ("--json PATH"); empty when not requested.
-inline std::string json_arg(int argc, char** argv) {
+/// Value of "<flag> VALUE" from argv; empty when absent.
+inline std::string value_arg(int argc, char** argv, const std::string& flag) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") return argv[i + 1];
+    if (std::string(argv[i]) == flag) return argv[i + 1];
   }
   return {};
+}
+
+/// Output path from argv ("--json PATH"); empty when not requested.
+inline std::string json_arg(int argc, char** argv) {
+  return value_arg(argc, argv, "--json");
+}
+
+/// Output path from argv ("--trace PATH"): where benches that support
+/// tracing write a Chrome trace-event JSON (chrome://tracing / Perfetto).
+inline std::string trace_arg(int argc, char** argv) {
+  return value_arg(argc, argv, "--trace");
+}
+
+/// Write `body` to `path`; returns false on I/O failure.
+inline bool write_text_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 /// Minimal ordered JSON emitter for the BENCH_*.json files every bench

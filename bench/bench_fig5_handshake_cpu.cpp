@@ -14,6 +14,7 @@
 #include "baselines/split_tls.h"
 #include "bench/bench_common.h"
 #include "mbtls/client.h"
+#include "mbtls/metrics.h"
 #include "mbtls/middlebox.h"
 #include "mbtls/server.h"
 
@@ -78,12 +79,13 @@ Sample run_tls_no_mbox(const std::string& kx, std::uint64_t seed) {
 // ----------------------------------------------------- mbTLS with N mboxes
 
 Sample run_mbtls(const std::string& kx, int client_mboxes, int server_mboxes,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, trace::Sink* sink = nullptr) {
   ClientSession::Options copts;
   copts.tls.cipher_suites = suite_for(kx);
   copts.tls.trust_anchors = {ca().root()};
   copts.tls.server_name = "origin.example";
   copts.tls.rng_seed = seed;
+  copts.trace_sink = sink;
   ClientSession client(std::move(copts));
 
   ServerSession::Options sopts;
@@ -92,6 +94,7 @@ Sample run_mbtls(const std::string& kx, int client_mboxes, int server_mboxes,
   sopts.tls.certificate_chain = server_identity().chain;
   sopts.tls.trust_anchors = {ca().root()};
   sopts.tls.rng_seed = seed + 1;
+  sopts.trace_sink = sink;
   ServerSession server(std::move(sopts));
 
   std::vector<std::unique_ptr<Middlebox>> mboxes;
@@ -102,6 +105,8 @@ Sample run_mbtls(const std::string& kx, int client_mboxes, int server_mboxes,
     mopts.cipher_suites = suite_for(kx);
     mopts.private_key = mbox_identity().key;
     mopts.certificate_chain = mbox_identity().chain;
+    mopts.trace_sink = sink;
+    mopts.trace_actor = "mbox" + std::to_string(i + 1);
     mboxes.push_back(std::make_unique<Middlebox>(std::move(mopts)));
   }
 
@@ -258,6 +263,22 @@ int main(int argc, char** argv) {
   using namespace mbtls::bench;
   const int trials = trials_arg(argc, argv, 100);
   const std::string json_path = json_arg(argc, argv);
+  const std::string trace_path = trace_arg(argc, argv);
+  if (!trace_path.empty()) {
+    // One traced handshake — client, two server-side middleboxes, server —
+    // exported as Chrome trace-event JSON (see EXPERIMENTS.md).
+    mbtls::trace::Recorder rec;
+    run_mbtls("ECDHE-RSA", 0, 2, 42, &rec);
+    if (!write_text_file(trace_path, rec.chrome_trace_json())) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+    const auto metrics = mbtls::mb::summarize(rec.events());
+    std::printf("traced mbTLS handshake (2 server mboxes): %zu events\n%s",
+                rec.events().size(), metrics.dump().c_str());
+    std::printf("wrote %s\n", trace_path.c_str());
+    return 0;
+  }
   std::printf("=== Figure 5: Handshake CPU microbenchmarks (%d trials, mean ± 95%% CI) ===\n",
               trials);
   // One-time setup outside the timers: DHE group generation, CA creation,

@@ -55,11 +55,16 @@ struct RunResult {
 };
 
 /// One fetch over the simulated WAN. `use_mbtls` false = middlebox is a pure
-/// TCP relay (paper's baseline: it "simply relays packets").
+/// TCP relay (paper's baseline: it "simply relays packets"). With `rec` set,
+/// every layer traces into it, timestamped by the virtual clock.
 RunResult run_fetch(int client_region, int mbox_region, int server_region, bool use_mbtls,
-                    std::uint64_t trial) {
+                    std::uint64_t trial, trace::Recorder* rec = nullptr) {
   Simulator sim;
   Network network(sim, trial);
+  if (rec) {
+    rec->set_clock([&sim] { return sim.now(); });
+    network.set_trace(rec);
+  }
   const NodeId nc = network.add_node(kRegions[client_region]);
   const NodeId nm = network.add_node(kRegions[mbox_region]);
   const NodeId ns = network.add_node(kRegions[server_region]);
@@ -86,6 +91,7 @@ RunResult run_fetch(int client_region, int mbox_region, int server_region, bool 
   sopts.tls.certificate_chain = server_identity().chain;
   sopts.tls.trust_anchors = {ca().root()};
   sopts.tls.rng_seed = trial * 3 + 1;
+  sopts.trace_sink = rec;
   mb::ServerSession server(std::move(sopts));
   std::unique_ptr<mb::SocketBinding<mb::ServerSession>> server_binding;
   const Bytes object(1000, 'x');  // the small object being fetched
@@ -101,6 +107,7 @@ RunResult run_fetch(int client_region, int mbox_region, int server_region, bool 
   mopts.private_key = mbox_identity().key;
   mopts.certificate_chain = mbox_identity().chain;
   mopts.peer_known_legacy = !use_mbtls;  // relay mode for the TLS baseline
+  mopts.trace_sink = rec;
   mb::Middlebox mbox(std::move(mopts));
   std::unique_ptr<mb::MiddleboxBinding> mbox_binding;
   // Measure the middlebox's real CPU time (crypto is genuinely executed);
@@ -127,6 +134,7 @@ RunResult run_fetch(int client_region, int mbox_region, int server_region, bool 
   copts.tls.server_name = "origin.example";
   copts.tls.rng_seed = trial * 3 + 2;
   copts.announce_mbtls = use_mbtls;
+  copts.trace_sink = rec;
   mb::ClientSession client(std::move(copts));
 
   Time handshake_done_at = 0;
@@ -175,6 +183,21 @@ RunResult run_fetch(int client_region, int mbox_region, int server_region, bool 
 int main(int argc, char** argv) {
   using namespace mbtls::bench;
   const int trials = trials_arg(argc, argv, 20);
+  const std::string trace_path = trace_arg(argc, argv);
+  if (!trace_path.empty()) {
+    // One traced mbTLS fetch (usw-use-uk) on the virtual clock: net segments,
+    // TLS flights, and mbtls session events in one Chrome-trace timeline.
+    mbtls::trace::Recorder rec;
+    const auto r = run_fetch(1, 2, 3, /*use_mbtls=*/true, 0, &rec);
+    if (!write_text_file(trace_path, rec.chrome_trace_json())) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("traced mbTLS fetch usw-use-uk: hs %.1f ms, total %.1f ms, %zu events\n",
+                r.handshake_ms, r.total_ms, rec.events().size());
+    std::printf("wrote %s\n", trace_path.c_str());
+    return 0;
+  }
   std::printf("=== Figure 6: mbTLS vs TLS latency across WAN paths (%d trials) ===\n", trials);
   std::printf("Time to fetch a 1 KB object via one middlebox; virtual WAN with real RTTs.\n\n");
   std::printf("%-16s | %-28s | %-28s | delta\n", "path (c-m-s)", "TLS relay: hs / total (ms)",

@@ -31,6 +31,9 @@ echo "lint clean"
 step "chaos: fault-injection pass (ctest -R Chaos)"
 ctest --preset default -R 'Chaos\.' --output-on-failure
 
+step "trace: protocol-invariant pass (ctest -R TraceInvariants)"
+ctest --preset default -R 'TraceInvariants\.' --output-on-failure
+
 step "bench: quick run + JSON emission (scripts/bench.sh --quick)"
 scripts/bench.sh --quick --out /tmp/mbtls-bench-check
 

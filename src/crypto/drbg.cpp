@@ -1,5 +1,7 @@
 #include "crypto/drbg.h"
 
+#include <algorithm>
+
 #include "crypto/sha2.h"
 
 namespace mbtls::crypto {
@@ -18,7 +20,14 @@ Drbg::Drbg(std::string_view label, std::uint64_t n) : Drbg([&] {
       return seed;
     }()) {}
 
-void Drbg::fill(MutableByteView out) { stream_->crypt(out); }
+void Drbg::fill(MutableByteView out) {
+  // crypt() XORs keystream into the buffer; zero it first so fill() delivers
+  // raw keystream regardless of what the caller's buffer held (u32() passes
+  // an uninitialized stack array — XOR alone would leak indeterminate bytes
+  // into the "deterministic" stream).
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  stream_->crypt(out);
+}
 
 Bytes Drbg::bytes(std::size_t n) { return stream_->keystream(n); }
 

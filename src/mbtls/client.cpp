@@ -6,6 +6,8 @@ namespace {
 tls::Config make_primary_config(ClientSession::Options& options) {
   tls::Config cfg = options.tls;
   cfg.is_client = true;
+  cfg.trace_sink = options.trace_sink;
+  cfg.trace_actor = options.trace_actor + "/primary";
   if (options.announce_mbtls) {
     tls::MiddleboxSupportExtension ext;
     ext.known_middleboxes = options.known_middleboxes;
@@ -22,6 +24,7 @@ tls::Config make_primary_config(ClientSession::Options& options) {
 
 ClientSession::ClientSession(Options options)
     : options_(std::move(options)),
+      trace_(options_.trace_sink, options_.trace_actor),
       primary_(make_primary_config(options_)),
       hop_rng_(options_.tls.rng_label + "/hop-keys", options_.tls.rng_seed) {}
 
@@ -34,6 +37,7 @@ void ClientSession::fail(const std::string& message) {
   if (status_ == SessionStatus::kFailed) return;
   status_ = SessionStatus::kFailed;
   error_ = message;
+  trace_.instant("mbtls", "fail", {{"reason", message}});
 }
 
 void ClientSession::emit_fatal_alert(tls::AlertDescription description) {
@@ -52,6 +56,8 @@ bool ClientSession::handshake_expired() {
   if (status_ != SessionStatus::kHandshaking) return false;
   emit_fatal_alert(tls::AlertDescription::kHandshakeFailure);
   fallback_wanted_ = options_.fallback_to_direct_tls;
+  trace_.instant("mbtls", "deadline.expired",
+                 {{"fallback", fallback_wanted_ ? 1 : 0}});
   fail("handshake deadline exceeded");
   return true;
 }
@@ -127,6 +133,9 @@ void ClientSession::handle_encapsulated(ByteView payload) {
     cfg.expected_measurement = options_.expected_middlebox_measurement;
     cfg.rng_label = options_.tls.rng_label + "/secondary" + std::to_string(enc->subchannel);
     cfg.extra_extensions.clear();
+    cfg.trace_sink = options_.trace_sink;
+    cfg.trace_actor = options_.trace_actor + "/sec" + std::to_string(enc->subchannel);
+    trace_.instant("mbtls", "secondary.open", {{"subchannel", static_cast<int>(enc->subchannel)}});
     // Secondary sessions resume keyed by subchannel (§3.5): the shared
     // ClientHello carries only the primary session ID, which each middlebox
     // also uses as its cache key.
@@ -179,6 +188,10 @@ void ClientSession::maybe_finish_setup() {
       return;
     }
     sec.approved = true;
+    trace_.instant("mbtls", "mbox.approved",
+                   {{"subchannel", static_cast<int>(sub)},
+                    {"cn", sec.descriptor.certificate_cn},
+                    {"attested", sec.descriptor.attested ? 1 : 0}});
   }
   distribute_keys();
 }
@@ -196,6 +209,18 @@ void ClientSession::distribute_keys() {
   for (std::size_t i = 0; i < secondaries_.size(); ++i)
     hops.push_back(generate_hop_keys(key_len, hop_rng_));
 
+  if (trace_.on()) {
+    // Keylog-style events (one per hop, hop 0 = bridge): fingerprints only,
+    // never raw key bytes (tools/mbtls-lint: trace-no-secret). Tests assert
+    // the paper's P4 (pairwise-unique hop keys) from these alone.
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      trace_.instant("mbtls", "keylog.hop",
+                     {{"hop", static_cast<std::uint64_t>(i)},
+                      {"c2s", tls::key_fingerprint(hops[i].client_to_server_key)},
+                      {"s2c", tls::key_fingerprint(hops[i].server_to_client_key)}});
+    }
+  }
+
   std::size_t index = 1;
   for (auto& [sub, sec] : secondaries_) {  // std::map iterates ascending
     tls::KeyMaterialMsg msg;
@@ -208,7 +233,12 @@ void ClientSession::distribute_keys() {
   }
 
   data_path_.emplace(hops.back(), key_len);
+  if (trace_.on()) data_path_->set_trace(trace_.sub("data"));
   status_ = SessionStatus::kEstablished;
+  trace_.instant("mbtls", "established",
+                 {{"middleboxes", static_cast<std::uint64_t>(secondaries_.size())},
+                  {"flights", primary_.flights()},
+                  {"resumed", primary_.resumed() ? 1 : 0}});
 }
 
 void ClientSession::handle_data_record(const tls::Record& record) {

@@ -34,6 +34,13 @@ class ClientSession {
     /// the origin directly with a plain end-to-end TLS session (see
     /// FallbackClient in mbtls/transport.h) instead of giving up for good.
     bool fallback_to_direct_tls = false;
+
+    /// Structured tracing: propagated to the primary and secondary engines
+    /// ("<actor>/primary", "<actor>/sec<N>") and used for session-level
+    /// events (hop establishment, keylog fingerprints, fallback). Null =
+    /// disabled, zero overhead.
+    trace::Sink* trace_sink = nullptr;
+    std::string trace_actor = "client";
   };
 
   explicit ClientSession(Options options);
@@ -94,6 +101,7 @@ class ClientSession {
   void emit_fatal_alert(tls::AlertDescription description);
 
   Options options_;
+  trace::Emitter trace_;
   tls::Engine primary_;
   std::map<std::uint8_t, Secondary> secondaries_;
   tls::RecordReader reader_;

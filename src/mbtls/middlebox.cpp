@@ -1,5 +1,7 @@
 #include "mbtls/middlebox.h"
 
+#include "tls/prf.h"
+
 namespace mbtls::mb {
 
 namespace {
@@ -16,7 +18,11 @@ std::optional<tls::HandshakeType> first_handshake_type(const tls::Record& rec) {
 }
 }  // namespace
 
-Middlebox::Middlebox(Options options) : options_(std::move(options)) {}
+Middlebox::Middlebox(Options options)
+    : options_(std::move(options)),
+      trace_(options_.trace_sink, options_.trace_actor.empty()
+                                      ? "mbox:" + options_.name
+                                      : options_.trace_actor) {}
 
 sgx::MemoryStore* Middlebox::key_store() {
   if (options_.enclave) return &options_.enclave->memory();
@@ -32,7 +38,7 @@ void Middlebox::feed_from_client(ByteView data) {
     down_reader_.feed(data);
     while (auto raw = down_reader_.take_raw()) handle_downstream_record(std::move(*raw));
   } catch (const std::exception&) {
-    demote_to_relay();
+    demote_to_relay("downstream parse error");
     append(to_server_, data);
   }
 }
@@ -42,7 +48,7 @@ void Middlebox::feed_from_server(ByteView data) {
     up_reader_.feed(data);
     while (auto raw = up_reader_.take_raw()) handle_upstream_record(std::move(*raw));
   } catch (const std::exception&) {
-    demote_to_relay();
+    demote_to_relay("upstream parse error");
     append(to_client_, data);
   }
 }
@@ -55,7 +61,7 @@ void Middlebox::on_client_hello(const tls::Record& record, const Bytes& raw) {
   reasm.feed(record.payload);
   const auto msg = reasm.next();
   if (!msg || msg->type != tls::HandshakeType::kClientHello) {
-    demote_to_relay();
+    demote_to_relay("malformed ClientHello");
     append(to_server_, raw);
     return;
   }
@@ -65,11 +71,12 @@ void Middlebox::on_client_hello(const tls::Record& record, const Bytes& raw) {
     // Join only when the client advertises mbTLS support.
     if (!hello.find_extension(tls::kExtMiddleboxSupport) || options_.peer_known_legacy) {
       if (!hello.find_extension(tls::kExtMiddleboxSupport)) observed_legacy_peer_ = true;
-      demote_to_relay();
+      demote_to_relay("legacy client");
       append(to_server_, raw);
       return;
     }
     mode_ = Mode::kJoining;
+    trace_.instant("mbtls", "join.begin", {{"side", "client"}});
     create_secondary(record);
     // Secondary output (our ServerHello flight) is buffered until the
     // primary ServerHello passes and we claim a subchannel.
@@ -81,16 +88,20 @@ void Middlebox::on_client_hello(const tls::Record& record, const Bytes& raw) {
   // (one per announcement seen so far), and inject our flight toward the
   // server immediately (its secondary ClientHello is the primary one).
   if (options_.peer_known_legacy) {
-    demote_to_relay();
+    demote_to_relay("peer known legacy");
     append(to_server_, raw);
     return;
   }
   mode_ = Mode::kJoining;
+  trace_.instant("mbtls", "join.begin", {{"side", "server"}});
   append(to_server_, tls::frame_plaintext_record(
                          tls::ContentType::kMbtlsMiddleboxAnnouncement, {}));
+  trace_.instant("mbtls", "announce.sent", {});
   append(to_server_, raw);
   subchannel_ = static_cast<std::uint8_t>(announcements_seen_downstream_ + 1);
   subchannel_assigned_ = true;
+  trace_.instant("mbtls", "subchannel.claimed",
+                 {{"subchannel", static_cast<int>(subchannel_)}});
   create_secondary(record);
   drain_secondary();
 }
@@ -108,6 +119,8 @@ void Middlebox::create_secondary(const tls::Record& client_hello_record) {
   cfg.now = options_.now;
   cfg.rng_label = options_.name + "/secondary";
   cfg.session_cache = options_.session_cache;
+  cfg.trace_sink = options_.trace_sink;
+  cfg.trace_actor = trace_.actor() + "/sec";
   secondary_ = std::make_unique<tls::Engine>(std::move(cfg));
   secondary_->on_typed_record = [this](tls::ContentType type, ByteView plaintext) {
     if (type != tls::ContentType::kMbtlsKeyMaterial) return;
@@ -155,18 +168,32 @@ void Middlebox::drain_secondary() {
       secondary_out_buffer_.push_back(framed);
     }
   }
-  if (secondary_->failed()) demote_to_relay();
+  if (secondary_->failed())
+    demote_to_relay("secondary handshake failed: " + secondary_->error_message());
 }
 
 void Middlebox::install_keys(const tls::KeyMaterialMsg& msg) {
   const auto info = tls::suite_info(msg.cipher_suite);
   if (!info) {
-    demote_to_relay();
+    demote_to_relay("unknown cipher suite in key material");
     return;
   }
   toward_client_.emplace(msg.toward_client, info->key_len);
   toward_server_.emplace(msg.toward_server, info->key_len);
   joined_ = true;
+  if (trace_.on()) {
+    toward_client_->set_trace(trace_.sub("hop_c"));
+    toward_server_->set_trace(trace_.sub("hop_s"));
+    // Fingerprints only — raw hop keys must never reach a trace sink (lint
+    // rule trace-no-secret).
+    trace_.instant(
+        "mbtls", "joined",
+        {{"subchannel", static_cast<int>(subchannel_)},
+         {"hop_c_c2s", tls::key_fingerprint(msg.toward_client.client_to_server_key)},
+         {"hop_c_s2c", tls::key_fingerprint(msg.toward_client.server_to_client_key)},
+         {"hop_s_c2s", tls::key_fingerprint(msg.toward_server.client_to_server_key)},
+         {"hop_s_s2c", tls::key_fingerprint(msg.toward_server.server_to_client_key)}});
+  }
   if (auto* store = key_store()) {
     store->put(options_.name + "/hop_toward_client_c2s", msg.toward_client.client_to_server_key);
     store->put(options_.name + "/hop_toward_client_s2c", msg.toward_client.server_to_client_key);
@@ -181,7 +208,7 @@ bool Middlebox::handshake_expired() {
   // Half-joined past the deadline (secondary handshake or key material
   // stalled): step out of the way. Buffered records are forwarded verbatim;
   // the endpoints' MACs and deadlines arbitrate from here.
-  demote_to_relay();
+  demote_to_relay("join deadline exceeded");
   return true;
 }
 
@@ -192,7 +219,8 @@ void Middlebox::note_alert(ByteView plaintext, bool client_to_server) {
   }
 }
 
-void Middlebox::demote_to_relay() {
+void Middlebox::demote_to_relay(const std::string& reason) {
+  if (mode_ != Mode::kRelay) trace_.instant("mbtls", "demote.relay", {{"reason", reason}});
   mode_ = Mode::kRelay;
   secondary_.reset();
   // Anything buffered is forwarded verbatim.
@@ -227,6 +255,7 @@ void Middlebox::reprotect_c2s(tls::Record& record) {
   const auto opened = toward_client_->open_c2s_in_place(record.type, record.payload);
   if (!opened) {
     ++auth_failures_;
+    trace_.instant("mbtls", "reprotect.auth_fail", {{"dir", "c2s"}});
     return;  // P2/P4: unauthenticated or out-of-path record is discarded
   }
   ByteView payload = *opened;
@@ -239,6 +268,10 @@ void Middlebox::reprotect_c2s(tls::Record& record) {
   }
   bytes_processed_ += payload.size();
   ++records_reprotected_;
+  if (trace_.on()) {
+    trace_.counter("reprotect.records", 1);
+    trace_.counter("reprotect.bytes", static_cast<double>(payload.size()));
+  }
   toward_server_->seal_c2s_into(record.type, payload, to_server_);
 }
 
@@ -246,6 +279,7 @@ void Middlebox::reprotect_s2c(tls::Record& record) {
   const auto opened = toward_server_->open_s2c_in_place(record.type, record.payload);
   if (!opened) {
     ++auth_failures_;
+    trace_.instant("mbtls", "reprotect.auth_fail", {{"dir", "s2c"}});
     return;
   }
   ByteView payload = *opened;
@@ -258,6 +292,10 @@ void Middlebox::reprotect_s2c(tls::Record& record) {
   }
   bytes_processed_ += payload.size();
   ++records_reprotected_;
+  if (trace_.on()) {
+    trace_.counter("reprotect.records", 1);
+    trace_.counter("reprotect.bytes", static_cast<double>(payload.size()));
+  }
   toward_client_->seal_s2c_into(record.type, payload, to_client_);
 }
 
@@ -310,7 +348,7 @@ void Middlebox::handle_downstream_record(Bytes raw) {
       } else {
         // The session went to data phase without us: the peer is legacy.
         observed_legacy_peer_ = options_.side == Side::kServerSide;
-        demote_to_relay();
+        demote_to_relay("data phase reached before join");
         append(to_server_, raw);
       }
       return;
@@ -377,6 +415,8 @@ void Middlebox::handle_upstream_record(Bytes raw) {
           first_handshake_type(record) == tls::HandshakeType::kServerHello) {
         subchannel_ = static_cast<std::uint8_t>(max_subchannel_seen_upstream_ + 1);
         subchannel_assigned_ = true;
+        trace_.instant("mbtls", "subchannel.claimed",
+                       {{"subchannel", static_cast<int>(subchannel_)}});
         // Inject our secondary ServerHello *before* forwarding the primary
         // one, so the next middlebox toward the client sees our subchannel
         // claim first and numbers itself after us (paper §3.4).
@@ -396,7 +436,7 @@ void Middlebox::handle_upstream_record(Bytes raw) {
         buffered_data_.push_back({false, record, std::move(raw)});
       } else {
         observed_legacy_peer_ = options_.side == Side::kServerSide;
-        demote_to_relay();
+        demote_to_relay("data phase reached before join");
         append(to_client_, raw);
       }
       return;

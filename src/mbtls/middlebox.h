@@ -60,6 +60,11 @@ class Middlebox {
     /// sitting half-joined forever (the endpoints' own deadlines and MACs
     /// then decide the session's fate).
     std::uint64_t handshake_timeout = 0;
+
+    /// Structured tracing (see ClientSession::Options::trace_sink). The
+    /// actor defaults to "mbox:<name>" when left empty.
+    trace::Sink* trace_sink = nullptr;
+    std::string trace_actor;
   };
 
   explicit Middlebox(Options options);
@@ -111,13 +116,14 @@ class Middlebox {
   void reprotect_s2c(tls::Record& record);
   void note_alert(ByteView plaintext, bool client_to_server);
   void flush_buffered();
-  void demote_to_relay();
+  void demote_to_relay(const std::string& reason);
   Bytes& endpoint_out() {
     return options_.side == Side::kClientSide ? to_client_ : to_server_;
   }
   sgx::MemoryStore* key_store();
 
   Options options_;
+  trace::Emitter trace_;
   Mode mode_ = Mode::kUndecided;
   bool saw_client_hello_ = false;
   bool subchannel_assigned_ = false;

@@ -6,12 +6,15 @@ namespace {
 tls::Config make_primary_config(ServerSession::Options& options) {
   tls::Config cfg = options.tls;
   cfg.is_client = false;
+  cfg.trace_sink = options.trace_sink;
+  cfg.trace_actor = options.trace_actor + "/primary";
   return cfg;
 }
 }  // namespace
 
 ServerSession::ServerSession(Options options)
     : options_(std::move(options)),
+      trace_(options_.trace_sink, options_.trace_actor),
       primary_(make_primary_config(options_)),
       hop_rng_(options_.tls.rng_label + "/hop-keys", options_.tls.rng_seed) {}
 
@@ -19,6 +22,7 @@ void ServerSession::fail(const std::string& message) {
   if (status_ == SessionStatus::kFailed) return;
   status_ = SessionStatus::kFailed;
   error_ = message;
+  trace_.instant("mbtls", "fail", {{"reason", message}});
 }
 
 void ServerSession::emit_fatal_alert(tls::AlertDescription description) {
@@ -34,6 +38,7 @@ void ServerSession::emit_fatal_alert(tls::AlertDescription description) {
 bool ServerSession::handshake_expired() {
   if (status_ != SessionStatus::kHandshaking) return false;
   emit_fatal_alert(tls::AlertDescription::kHandshakeFailure);
+  trace_.instant("mbtls", "deadline.expired", {{"fallback", 0}});
   fail("handshake deadline exceeded");
   return true;
 }
@@ -76,6 +81,8 @@ void ServerSession::feed(ByteView transport_bytes) {
 void ServerSession::handle_record(const tls::Record& record) {
   if (record.type == tls::ContentType::kMbtlsMiddleboxAnnouncement) {
     ++announcements_;
+    trace_.instant("mbtls", "announce.seen",
+                   {{"count", static_cast<std::uint64_t>(announcements_)}});
     return;
   }
   if (record.type == tls::ContentType::kMbtlsEncapsulated) {
@@ -136,6 +143,9 @@ void ServerSession::start_pending_secondaries() {
       cfg.resumption_cache_key = "mbtls-secondary-" + std::to_string(sub);
       cfg.secret_store = options_.tls.secret_store;
       cfg.secret_prefix = options_.tls.secret_prefix + "mbox" + std::to_string(sub) + "/";
+      cfg.trace_sink = options_.trace_sink;
+      cfg.trace_actor = options_.trace_actor + "/sec" + std::to_string(sub);
+      trace_.instant("mbtls", "secondary.open", {{"subchannel", static_cast<int>(sub)}});
       sec.engine = std::make_unique<tls::Engine>(std::move(cfg));
       sec.engine->start_with_preset_hello(*primary_.received_client_hello(),
                                           primary_.client_hello_raw());
@@ -183,6 +193,10 @@ void ServerSession::maybe_finish_setup() {
       return;
     }
     sec.approved = true;
+    trace_.instant("mbtls", "mbox.approved",
+                   {{"subchannel", static_cast<int>(sub)},
+                    {"cn", sec.descriptor.certificate_cn},
+                    {"attested", sec.descriptor.attested ? 1 : 0}});
   }
   distribute_keys();
 }
@@ -200,6 +214,17 @@ void ServerSession::distribute_keys() {
   for (std::size_t i = 0; i < secondaries_.size(); ++i)
     hops.push_back(generate_hop_keys(key_len, hop_rng_));
 
+  if (trace_.on()) {
+    // Keylog-style events, hop 0 = bridge (fingerprints only; see
+    // ClientSession::distribute_keys and lint rule trace-no-secret).
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      trace_.instant("mbtls", "keylog.hop",
+                     {{"hop", static_cast<std::uint64_t>(i)},
+                      {"c2s", tls::key_fingerprint(hops[i].client_to_server_key)},
+                      {"s2c", tls::key_fingerprint(hops[i].server_to_client_key)}});
+    }
+  }
+
   std::size_t index = 1;
   for (auto& [sub, sec] : secondaries_) {
     tls::KeyMaterialMsg msg;
@@ -212,7 +237,12 @@ void ServerSession::distribute_keys() {
   }
 
   data_path_.emplace(hops.back(), key_len);
+  if (trace_.on()) data_path_->set_trace(trace_.sub("data"));
   status_ = SessionStatus::kEstablished;
+  trace_.instant("mbtls", "established",
+                 {{"middleboxes", static_cast<std::uint64_t>(secondaries_.size())},
+                  {"flights", primary_.flights()},
+                  {"resumed", primary_.resumed() ? 1 : 0}});
 }
 
 void ServerSession::handle_data_record(const tls::Record& record) {

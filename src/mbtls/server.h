@@ -26,6 +26,10 @@ class ServerSession {
     /// ClientSession::Options::handshake_timeout. Protects the server from
     /// half-open sessions whose middlebox died mid-handshake.
     std::uint64_t handshake_timeout = 0;
+
+    /// Structured tracing (see ClientSession::Options::trace_sink).
+    trace::Sink* trace_sink = nullptr;
+    std::string trace_actor = "server";
   };
 
   explicit ServerSession(Options options);
@@ -77,6 +81,7 @@ class ServerSession {
   void emit_fatal_alert(tls::AlertDescription description);
 
   Options options_;
+  trace::Emitter trace_;
   tls::Engine primary_;
   std::map<std::uint8_t, Secondary> secondaries_;
   tls::RecordReader reader_;

@@ -214,6 +214,8 @@ class FallbackClient {
   void maybe_fall_back() {
     if (fell_back_ || !session_->failed() || !config_.options.fallback_to_direct_tls) return;
     fell_back_ = true;
+    const trace::Emitter em(config_.options.trace_sink, config_.options.trace_actor);
+    em.instant("mbtls", "fallback.redial", {{"attempt", attempt_ + 1}});
     dial(config_.origin, config_.origin_port, /*announce=*/false);
   }
 

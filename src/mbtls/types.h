@@ -50,6 +50,12 @@ class HopDuplex {
   void seal_s2c_into(tls::ContentType type, ByteView plaintext, Bytes& out);
   std::optional<MutableByteView> open_s2c_in_place(tls::ContentType type, MutableByteView body);
 
+  /// Attach tracing to both directions ("<actor>/c2s" and "<actor>/s2c").
+  void set_trace(const trace::Emitter& em) {
+    c2s_.set_trace(em.sub("c2s"));
+    s2c_.set_trace(em.sub("s2c"));
+  }
+
  private:
   tls::HopChannel c2s_;
   tls::HopChannel s2c_;

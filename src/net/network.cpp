@@ -101,13 +101,45 @@ void Network::forward(Packet packet, NodeId at) {
   Link* link = find_link(at, hop);
   const bool a_to_b = link->a == at;
 
-  // Taps (filters / attackers) on this link.
-  for (auto& tap : link->taps) {
-    if (tap(packet, a_to_b) == TapVerdict::kDrop) return;
+  // Taps (filters / attackers) on this link. When tracing, snapshot the
+  // mutable fields so a "chaos tap fired" event distinguishes a mutation
+  // from a pass-through (the copy is paid only with a sink attached).
+  if (!link->taps.empty() && trace_sink_ != nullptr) {
+    const Bytes before_payload = packet.payload;
+    const std::uint64_t before_seq = packet.seq;
+    const TcpFlags before_flags = packet.flags;
+    for (std::size_t i = 0; i < link->taps.size(); ++i) {
+      if (link->taps[i](packet, a_to_b) == TapVerdict::kDrop) {
+        node_trace(at).instant("net", "tap",
+                               {{"to", names_.at(hop)},
+                                {"tap", static_cast<std::uint64_t>(i)},
+                                {"verdict", "drop"}});
+        return;
+      }
+    }
+    const bool mutated =
+        packet.seq != before_seq || packet.payload != before_payload ||
+        packet.flags.syn != before_flags.syn || packet.flags.ack != before_flags.ack ||
+        packet.flags.fin != before_flags.fin || packet.flags.rst != before_flags.rst;
+    if (mutated) {
+      node_trace(at).instant("net", "tap",
+                             {{"to", names_.at(hop)}, {"verdict", "mutated"}});
+    }
+  } else {
+    for (auto& tap : link->taps) {
+      if (tap(packet, a_to_b) == TapVerdict::kDrop) return;
+    }
   }
 
   // Random loss.
-  if (link->config.loss_rate > 0 && loss_rng_.real() < link->config.loss_rate) return;
+  if (link->config.loss_rate > 0 && loss_rng_.real() < link->config.loss_rate) {
+    if (trace_sink_ != nullptr) {
+      node_trace(at).instant("net", "loss",
+                             {{"to", names_.at(hop)},
+                              {"len", static_cast<std::uint64_t>(packet.payload.size())}});
+    }
+    return;
+  }
 
   // Serialization + propagation delay.
   Time tx = 0;

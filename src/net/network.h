@@ -17,6 +17,7 @@
 #include "crypto/drbg.h"
 #include "net/simulator.h"
 #include "util/bytes.h"
+#include "util/trace.h"
 
 namespace mbtls::net {
 
@@ -89,6 +90,16 @@ class Network {
 
   Simulator& simulator() { return sim_; }
 
+  /// Attach a trace sink: segment send/recv, retransmits, tap verdicts, and
+  /// random losses are emitted under "net:<node>" actors. Null (the default)
+  /// keeps the forwarding path branch-only. Timestamps come from whatever
+  /// clock the sink stamps with — harnesses install the simulator's.
+  void set_trace(trace::Sink* sink) { trace_sink_ = sink; }
+  bool trace_on() const { return trace_sink_ != nullptr; }
+  trace::Emitter node_trace(NodeId id) const {
+    return trace::Emitter(trace_sink_, "net:" + names_.at(id));
+  }
+
  private:
   struct Link {
     NodeId a, b;
@@ -109,6 +120,7 @@ class Network {
   std::vector<std::vector<NodeId>> next_hop_;       // routing table
   std::vector<DeliveryHandler> handlers_;
   crypto::Drbg loss_rng_;
+  trace::Sink* trace_sink_ = nullptr;
 };
 
 }  // namespace mbtls::net

@@ -4,6 +4,17 @@
 
 namespace mbtls::net {
 
+namespace {
+std::string flags_str(const TcpFlags& f) {
+  std::string s;
+  if (f.syn) s += 'S';
+  if (f.ack) s += 'A';
+  if (f.fin) s += 'F';
+  if (f.rst) s += 'R';
+  return s;
+}
+}  // namespace
+
 // --------------------------------------------------------------------- Host
 
 Host::Host(Network& network, NodeId node)
@@ -113,6 +124,14 @@ void Socket::send_segment(TcpFlags flags, std::uint64_t seq, ByteView payload) {
   p.seq = seq;
   p.ack = rcv_nxt_;
   p.payload = to_bytes(payload);
+  if (host_.network_.trace_on()) {
+    host_.network_.node_trace(host_.node_).instant(
+        "net", "seg.send",
+        {{"to", host_.network_.node_name(remote_node_)},
+         {"flags", flags_str(flags)},
+         {"seq", seq},
+         {"len", static_cast<std::uint64_t>(payload.size())}});
+  }
   host_.network_.send(std::move(p));
 }
 
@@ -157,6 +176,14 @@ void Socket::on_timeout() {
     fail_connection(SocketError::kRetransmitExhausted);
     return;
   }
+  if (host_.network_.trace_on()) {
+    host_.network_.node_trace(host_.node_).instant(
+        "net", "retransmit",
+        {{"to", host_.network_.node_name(remote_node_)},
+         {"attempt", retransmit_count_},
+         {"rto_us", static_cast<std::uint64_t>(rto_)},
+         {"outstanding", static_cast<std::uint64_t>(unacked_.size())}});
+  }
   // Go-back-N: resend everything outstanding.
   for (const auto& seg : unacked_) {
     TcpFlags flags;
@@ -192,6 +219,11 @@ void Socket::deliver_in_order() {
 void Socket::fail_connection(SocketError error) {
   if (state_ == State::kClosed) return;
   error_ = error;
+  if (host_.network_.trace_on()) {
+    host_.network_.node_trace(host_.node_).instant(
+        "net", "sock_error",
+        {{"error", error == SocketError::kPeerReset ? "peer_reset" : "retransmit_exhausted"}});
+  }
   if (on_error) {
     auto cb = std::move(on_error);
     on_error = nullptr;
@@ -215,6 +247,14 @@ void Socket::become_closed() {
 
 void Socket::handle_segment(const Packet& p) {
   if (state_ == State::kClosed) return;
+  if (host_.network_.trace_on()) {
+    host_.network_.node_trace(host_.node_).instant(
+        "net", "seg.recv",
+        {{"from", host_.network_.node_name(p.src)},
+         {"flags", flags_str(p.flags)},
+         {"seq", p.seq},
+         {"len", static_cast<std::uint64_t>(p.payload.size())}});
+  }
   if (p.flags.rst) {
     fail_connection(SocketError::kPeerReset);
     return;

@@ -23,6 +23,24 @@ const char* to_string(AlertDescription d) {
   return "unknown_alert";
 }
 
+const char* to_string(HandshakeType t) {
+  switch (t) {
+    case HandshakeType::kHelloRequest: return "HelloRequest";
+    case HandshakeType::kClientHello: return "ClientHello";
+    case HandshakeType::kServerHello: return "ServerHello";
+    case HandshakeType::kNewSessionTicket: return "NewSessionTicket";
+    case HandshakeType::kCertificate: return "Certificate";
+    case HandshakeType::kServerKeyExchange: return "ServerKeyExchange";
+    case HandshakeType::kCertificateRequest: return "CertificateRequest";
+    case HandshakeType::kServerHelloDone: return "ServerHelloDone";
+    case HandshakeType::kCertificateVerify: return "CertificateVerify";
+    case HandshakeType::kClientKeyExchange: return "ClientKeyExchange";
+    case HandshakeType::kSgxAttestation: return "SGXAttestation";
+    case HandshakeType::kFinished: return "Finished";
+  }
+  return "UnknownHandshake";
+}
+
 std::optional<SuiteInfo> suite_info(CipherSuite suite) {
   using H = crypto::HashAlgo;
   switch (suite) {

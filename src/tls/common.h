@@ -65,6 +65,9 @@ enum class AlertDescription : std::uint8_t {
 
 const char* to_string(AlertDescription d);
 
+/// Handshake message name for diagnostics and trace events.
+const char* to_string(HandshakeType t);
+
 enum class CipherSuite : std::uint16_t {
   kDheRsaAes128GcmSha256 = 0x009e,
   kDheRsaAes256GcmSha384 = 0x009f,

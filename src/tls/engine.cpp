@@ -27,7 +27,9 @@ crypto::HashAlgo hash_from_registry(std::uint8_t v) {
 }  // namespace
 
 Engine::Engine(Config config)
-    : config_(std::move(config)), rng_(config_.rng_label, config_.rng_seed) {
+    : config_(std::move(config)),
+      rng_(config_.rng_label, config_.rng_seed),
+      trace_(config_.trace_sink, config_.trace_actor) {
   state_ = config_.is_client ? EngineState::kIdle : EngineState::kAwaitClientHello;
 }
 
@@ -50,9 +52,27 @@ void Engine::emit_record(ContentType type, ByteView payload) {
 }
 
 void Engine::emit_handshake(HandshakeType type, ByteView body) {
+  note_flight(true);
+  if (trace_.on()) {
+    trace_.instant("tls", "hs.out",
+                   {{"msg", to_string(type)},
+                    {"len", static_cast<std::uint64_t>(body.size())}});
+  }
   const Bytes msg = wrap_handshake(type, body);
   append_transcript(msg);
   emit_record(ContentType::kHandshake, msg);
+}
+
+void Engine::note_flight(bool outbound) {
+  if (state_ == EngineState::kEstablished) return;
+  const int dir = outbound ? 1 : 2;
+  if (dir == last_flight_dir_) return;
+  last_flight_dir_ = dir;
+  ++flight_;
+  if (trace_.on()) {
+    trace_.instant("tls", "flight",
+                   {{"index", flight_}, {"dir", outbound ? "out" : "in"}});
+  }
 }
 
 Bytes Engine::take_output() { return std::move(output_); }
@@ -80,6 +100,7 @@ void Engine::fail(AlertDescription alert, const std::string& message) {
   if (state_ == EngineState::kError) return;
   last_alert_ = alert;
   error_message_ = message;
+  trace_.instant("tls", "fail", {{"alert", to_string(alert)}, {"reason", message}});
   // Best effort fatal alert to the peer.
   Bytes body;
   put_u8(body, static_cast<std::uint8_t>(AlertLevel::kFatal));
@@ -177,6 +198,9 @@ void Engine::handle_alert(ByteView payload) {
   }
   const auto level = static_cast<AlertLevel>(payload[0]);
   const auto desc = static_cast<AlertDescription>(payload[1]);
+  trace_.instant("tls", "alert.in",
+                 {{"alert", to_string(desc)},
+                  {"level", level == AlertLevel::kFatal ? "fatal" : "warning"}});
   if (desc == AlertDescription::kCloseNotify) {
     state_ = EngineState::kClosed;
     return;
@@ -193,11 +217,18 @@ void Engine::handle_change_cipher_spec(ByteView payload) {
     throw ProtocolError(AlertDescription::kDecodeError, "malformed ChangeCipherSpec");
   if (state_ != EngineState::kAwaitChangeCipherSpec)
     throw ProtocolError(AlertDescription::kUnexpectedMessage, "unexpected ChangeCipherSpec");
+  note_flight(false);
   activate_read_keys();
   state_ = EngineState::kAwaitFinished;
 }
 
 void Engine::handle_handshake_message(const HandshakeMsg& msg) {
+  note_flight(false);
+  if (trace_.on()) {
+    trace_.instant("tls", "hs.in",
+                   {{"msg", to_string(msg.type)},
+                    {"len", static_cast<std::uint64_t>(msg.body.size())}});
+  }
   switch (msg.type) {
     case HandshakeType::kClientHello: return handle_client_hello(msg);
     case HandshakeType::kServerHello: return handle_server_hello(msg);
@@ -258,6 +289,11 @@ void Engine::start() {
 
 void Engine::start_with_preset_hello(const ClientHello& hello, ByteView raw_message) {
   if (!config_.is_client || state_ != EngineState::kIdle) return;
+  // The primary ClientHello does double duty as ours: it counts as our
+  // outbound flight even though this engine never puts it on the wire.
+  note_flight(true);
+  trace_.instant("tls", "hs.preset_hello",
+                 {{"len", static_cast<std::uint64_t>(raw_message.size())}});
   client_random_ = hello.random;
   parsed_client_hello_ = hello;
   client_hello_raw_ = to_bytes(raw_message);
@@ -639,16 +675,27 @@ void Engine::derive_key_block_once() {
   register_secret("client_write_iv", key_block_->client_write.fixed_iv);
   register_secret("server_write_key", key_block_->server_write.key);
   register_secret("server_write_iv", key_block_->server_write.fixed_iv);
+  if (trace_.on()) {
+    // Keylog-style event: fingerprints only, never raw key bytes
+    // (tools/mbtls-lint: trace-no-secret).
+    trace_.instant("tls", "keys.derived",
+                   {{"client_write", key_fingerprint(key_block_->client_write.key)},
+                    {"server_write", key_fingerprint(key_block_->server_write.key)},
+                    {"suite", suite_name(suite_->id)},
+                    {"resumed", resumed_ ? 1 : 0}});
+  }
 }
 
 void Engine::send_ccs_and_finished() {
   // ChangeCipherSpec (not part of the transcript), then activate our write
   // protection and send Finished under the new keys.
+  note_flight(true);
   Bytes ccs{1};
   emit_record(ContentType::kChangeCipherSpec, ccs);
   const DirectionKeys& write_keys =
       config_.is_client ? key_block_->client_write : key_block_->server_write;
   write_channel_.emplace(write_keys);
+  if (trace_.on()) write_channel_->set_trace(trace_.sub("write"));
 
   const Bytes verify =
       finished_verify_data(suite_->prf_hash, master_secret_, config_.is_client, transcript_hash());
@@ -662,6 +709,7 @@ void Engine::activate_read_keys() {
   const DirectionKeys& read_keys =
       config_.is_client ? key_block_->server_write : key_block_->client_write;
   read_channel_.emplace(read_keys);
+  if (trace_.on()) read_channel_->set_trace(trace_.sub("read"));
   read_protected_ = true;
 }
 
@@ -693,6 +741,10 @@ void Engine::handle_finished(const HandshakeMsg& msg) {
 
 void Engine::finish_handshake() {
   state_ = EngineState::kEstablished;
+  if (trace_.on()) {
+    trace_.instant("tls", "established",
+                   {{"flights", flight_}, {"resumed", resumed_ ? 1 : 0}});
+  }
   // Populate the resumption cache.
   if (config_.session_cache && !session_id_.empty()) {
     SessionState session;

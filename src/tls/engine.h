@@ -108,6 +108,13 @@ struct Config {
   // ClientHello they saw came from the *client*, which may be legacy, while
   // the attestation consumer is the *server* endpoint).
   bool attest_unsolicited = false;
+
+  // Structured tracing (src/util/trace.h). When a sink is attached the
+  // engine emits handshake message in/out, flight boundary, key derivation
+  // (fingerprints only — never raw keys), and record seal/open events under
+  // `trace_actor`. Null sink = disabled = one branch per emission site.
+  trace::Sink* trace_sink = nullptr;
+  std::string trace_actor = "tls";
 };
 
 enum class EngineState {
@@ -205,6 +212,11 @@ class Engine {
 
   const Config& config() const { return config_; }
 
+  /// Handshake flights seen so far (maximal same-direction runs of
+  /// handshake-phase records; 4 on a full handshake, 3 on resumption).
+  int flights() const { return flight_; }
+  const trace::Emitter& trace() const { return trace_; }
+
  private:
   // Handshake driving.
   void handle_handshake_message(const HandshakeMsg& msg);
@@ -239,9 +251,16 @@ class Engine {
   void finish_handshake();
   void register_secret(const std::string& name, ByteView value);
   Bytes signature_payload(const ServerKeyExchange& ske) const;
+  /// Record a handshake flight boundary whenever the traffic direction flips
+  /// pre-establishment. Cheap enough to run untraced (two int compares);
+  /// emits a "tls flight" event when a sink is attached.
+  void note_flight(bool outbound);
 
   Config config_;
   crypto::Drbg rng_;
+  trace::Emitter trace_;
+  int flight_ = 0;
+  int last_flight_dir_ = 0;  // 0 = none, 1 = outbound, 2 = inbound
   EngineState state_ = EngineState::kIdle;
   AlertDescription last_alert_ = AlertDescription::kCloseNotify;
   std::string error_message_;

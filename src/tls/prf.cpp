@@ -1,6 +1,7 @@
 #include "tls/prf.h"
 
 #include "crypto/hmac.h"
+#include "util/hex.h"
 
 namespace mbtls::tls {
 
@@ -48,6 +49,14 @@ Bytes finished_verify_data(crypto::HashAlgo hash, ByteView master_secret, bool f
                            ByteView transcript_hash) {
   return prf(hash, master_secret, from_client ? "client finished" : "server finished",
              transcript_hash, 12);
+}
+
+std::string key_fingerprint(ByteView secret) {
+  crypto::Sha256 h;
+  h.update(to_bytes(std::string_view("mbtls key fingerprint")));
+  h.update(secret);
+  const Bytes digest = h.finish();
+  return hex_encode(ByteView(digest.data(), 8));
 }
 
 }  // namespace mbtls::tls

@@ -50,4 +50,12 @@ KeyBlock derive_key_block(crypto::HashAlgo hash, ByteView master_secret, ByteVie
 Bytes finished_verify_data(crypto::HashAlgo hash, ByteView master_secret, bool from_client,
                            ByteView transcript_hash);
 
+/// Non-invertible fingerprint of key material for keylog-style trace events:
+/// hex of the first 8 bytes of SHA-256("mbtls key fingerprint" || secret).
+/// Trace sinks must never receive raw keys (tools/mbtls-lint rule
+/// trace-no-secret); passing material through this digest is the sanctioned
+/// way to let tests assert key *identity* (equality/uniqueness) from traces
+/// without the trace ever containing recoverable secrets.
+std::string key_fingerprint(ByteView secret);
+
 }  // namespace mbtls::tls

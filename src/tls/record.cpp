@@ -61,6 +61,12 @@ void HopChannel::seal_into(ContentType type, ByteView plaintext, Bytes& out) {
   make_aad(seq_, type, plaintext.size(), aad);
   aead_.seal_into(ByteView(nonce, 12), ByteView(aad, 13), plaintext,
                   MutableByteView(p + kRecordHeaderSize + kExplicitNonceSize, sealed_len));
+  if (trace_.on()) {
+    trace_.instant("tls", "record.seal",
+                   {{"type", static_cast<int>(type)},
+                    {"len", static_cast<std::uint64_t>(plaintext.size())},
+                    {"seq", seq_}});
+  }
   ++seq_;
 }
 
@@ -80,7 +86,17 @@ std::optional<MutableByteView> HopChannel::open_in_place(ContentType type, Mutab
   MutableByteView plaintext = body.subspan(kExplicitNonceSize, pt_len);
   if (!aead_.open_into(ByteView(nonce, 12), ByteView(aad, 13), body.subspan(kExplicitNonceSize),
                        plaintext)) {
+    if (trace_.on()) {
+      trace_.instant("tls", "record.auth_fail",
+                     {{"type", static_cast<int>(type)}, {"seq", seq_}});
+    }
     return std::nullopt;
+  }
+  if (trace_.on()) {
+    trace_.instant("tls", "record.open",
+                   {{"type", static_cast<int>(type)},
+                    {"len", static_cast<std::uint64_t>(pt_len)},
+                    {"seq", seq_}});
   }
   ++seq_;
   return plaintext;

@@ -13,6 +13,7 @@
 #include "crypto/gcm.h"
 #include "tls/common.h"
 #include "tls/prf.h"
+#include "util/trace.h"
 
 namespace mbtls::tls {
 
@@ -57,10 +58,16 @@ class HopChannel {
 
   std::uint64_t sequence() const { return seq_; }
 
+  /// Attach a trace emitter; every sealed/opened record then produces a
+  /// "tls record.seal"/"record.open" event. Detached (the default) the data
+  /// plane pays exactly one predicted branch per record.
+  void set_trace(trace::Emitter em) { trace_ = std::move(em); }
+
  private:
   crypto::AesGcm aead_;
   Bytes fixed_iv_;
   std::uint64_t seq_;
+  trace::Emitter trace_;
 };
 
 /// Incremental record parser: feed raw transport bytes, pop complete records

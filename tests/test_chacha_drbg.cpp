@@ -49,6 +49,26 @@ TEST(Drbg, DeterministicFromSeed) {
   EXPECT_EQ(a.bytes(64), b.bytes(64));
 }
 
+TEST(Drbg, FillIgnoresPriorBufferContents) {
+  // Regression: fill() once XORed keystream into whatever the caller's
+  // buffer held, so u32()/real() — which pass an uninitialized stack
+  // array — were garbage-dependent on their first draw. fill() must
+  // deliver raw keystream, equal to bytes(), for any prior contents.
+  Drbg a("fill", 3);
+  Drbg b("fill", 3);
+  Bytes zeroed(16, 0x00), dirty(16, 0xff);
+  a.fill(zeroed);
+  b.fill(dirty);
+  EXPECT_EQ(zeroed, dirty);
+  EXPECT_EQ(zeroed, Drbg("fill", 3).bytes(16));
+
+  // Hence derived draws are seed-deterministic from the very first call.
+  Drbg c("fill", 4);
+  Drbg d("fill", 4);
+  EXPECT_EQ(c.u32(), d.u32());
+  EXPECT_EQ(c.real(), d.real());
+}
+
 TEST(Drbg, DifferentSeedsDiffer) {
   Drbg a("seed", 1);
   Drbg b("seed", 2);

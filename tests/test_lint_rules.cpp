@@ -92,17 +92,23 @@ TEST(LintRules, BadFixturesTripEveryRuleAtDocumentedLines) {
   EXPECT_TRUE(run.has("tests/bad_nondet.cpp", 10, "banned-fn"));
   EXPECT_TRUE(run.has("tests/bad_nondet.cpp", 11, "banned-fn"));
 
+  // trace-no-secret: raw secret and key byte handed to a trace emitter.
+  EXPECT_TRUE(run.has("src/tls/bad_trace.cpp", 15, "trace-no-secret"));
+  EXPECT_TRUE(run.has("src/tls/bad_trace.cpp", 16, "trace-no-secret"));
+
   // The exact finding multiset: 10 on time(nullptr) doubles the srand line.
   EXPECT_EQ(run.count_mentioning("bad_compare.cpp"), 3);
   EXPECT_EQ(run.count_mentioning("bad_wipe.cpp"), 2);
   EXPECT_EQ(run.count_mentioning("bad_parser.cpp"), 6);
   EXPECT_EQ(run.count_mentioning("bad_nondet.cpp"), 6);
-  EXPECT_EQ(static_cast<int>(run.lines.size()), 17);
+  EXPECT_EQ(run.count_mentioning("bad_trace.cpp"), 2);
+  EXPECT_EQ(static_cast<int>(run.lines.size()), 19);
 }
 
 TEST(LintRules, GoodFixturesAreClean) {
   for (const char* rel : {"src/crypto/good_compare.cpp", "src/crypto/good_wipe.cpp",
-                          "src/tls/good_parser.cpp", "tests/good_det.cpp"}) {
+                          "src/tls/good_parser.cpp", "src/tls/good_trace.cpp",
+                          "tests/good_det.cpp"}) {
     const LintRun run = run_lint(kFixtures + "/" + rel);
     EXPECT_EQ(run.exit_code, 0) << rel;
     EXPECT_TRUE(run.lines.empty()) << rel << " produced: " << run.lines.front();
@@ -114,6 +120,7 @@ TEST(LintRules, NoFindingsOnGoodTwinsInFullRun) {
   EXPECT_EQ(run.count_mentioning("good_compare.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_wipe.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_parser.cpp"), 0);
+  EXPECT_EQ(run.count_mentioning("good_trace.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_det.cpp"), 0);
 }
 
@@ -132,7 +139,7 @@ TEST(LintRules, ListRulesNamesTheCatalogue) {
   std::string all;
   for (const auto& l : run.lines) all += l + "\n";
   for (const char* rule : {"secret-compare", "secret-wipe", "banned-fn",
-                           "partial-read", "nondet-test"}) {
+                           "partial-read", "nondet-test", "trace-no-secret"}) {
     EXPECT_NE(all.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,19 @@
+// Lint fixture: key material must never flow into a trace emitter — both
+// emissions here trip `trace-no-secret`. Expected file:line pairs are
+// asserted in tests/test_lint_rules.cpp — keep line numbers stable.
+#include <string>
+
+namespace fixture {
+
+struct Emitter {
+  void instant(const char* category, const char* name, const std::string& arg);
+  void counter(const char* name, double delta);
+};
+
+void log_handshake(Emitter& em, const std::string& master_secret,
+                   const std::string& hop_key) {
+  em.instant("tls", "keys.derived", master_secret);             // line 15: raw secret traced
+  em.counter("key.entropy", static_cast<double>(hop_key[0]));   // line 16: key byte traced
+}
+
+}  // namespace fixture

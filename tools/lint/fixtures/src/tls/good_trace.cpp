@@ -1,0 +1,21 @@
+// Lint fixture: the clean twin of bad_trace.cpp. Fingerprinted keys, public
+// metadata, and an annotated exemption — must produce no findings.
+#include <string>
+
+namespace fixture {
+
+std::string key_fingerprint(const std::string& material);
+
+struct Emitter {
+  void instant(const char* category, const char* name, const std::string& arg);
+  void counter(const char* name, double delta);
+};
+
+void log_handshake(Emitter& em, const std::string& master_secret,
+                   const std::string& hop_key, unsigned long key_len) {
+  em.instant("tls", "keys.derived", key_fingerprint(master_secret));
+  em.counter("key.len", static_cast<double>(key_len));
+  em.instant("tls", "debug.keylog", hop_key);  // lint: allow-trace-no-secret
+}
+
+}  // namespace fixture

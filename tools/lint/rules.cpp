@@ -401,6 +401,49 @@ void rule_nondet_test(const LexedFile& f, std::vector<Finding>& out) {
   }
 }
 
+// ------------------------------------------------------ rule: trace-no-secret
+
+const char* kTraceNoSecret = "trace-no-secret";
+
+/// Trace sinks must never receive key material. Any secret-named identifier
+/// inside the argument list of an emitter call (`x.instant(...)`,
+/// `x.begin(...)`, `x.end(...)`, `x.counter(...)`) is flagged unless it is
+/// wrapped in key_fingerprint(...), which logs a truncated digest instead of
+/// the secret itself.
+void rule_trace_no_secret(const LexedFile& f, std::vector<Finding>& out) {
+  const auto& toks = f.tokens;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "instant" && t.text != "begin" && t.text != "end" &&
+        t.text != "counter") {
+      continue;
+    }
+    if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+    const std::size_t close = match_paren(toks, i + 1);
+    if (!allowed(f, t.line, kTraceNoSecret)) {
+      for (std::size_t j = i + 2; j < close; ++j) {
+        // key_fingerprint(...) is the sanctioned way to mention a key in a
+        // trace event — skip over its whole argument span.
+        if (toks[j].kind == TokenKind::kIdentifier && toks[j].text == "key_fingerprint" &&
+            j + 1 < close && is_punct(toks[j + 1], "(")) {
+          j = match_paren(toks, j + 1);
+          continue;
+        }
+        if (toks[j].kind == TokenKind::kIdentifier && is_secret_name(toks[j].text) &&
+            !allowed(f, toks[j].line, kTraceNoSecret)) {
+          out.push_back({f.path, toks[j].line, kTraceNoSecret,
+                         "secret '" + toks[j].text +
+                             "' passed to a trace emitter; trace key_fingerprint(" +
+                             toks[j].text + ") instead"});
+        }
+      }
+    }
+    i = close;
+  }
+}
+
 }  // namespace
 
 bool is_secret_name(const std::string& identifier) {
@@ -424,6 +467,8 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"partial-read",
        "every Reader/Parser decode path ends in expect_end() or `// lint: partial-read`"},
       {"nondet-test", "tests must be deterministic: no srand/rand/random_device/wall-clock seeds"},
+      {"trace-no-secret",
+       "trace emitters never receive key material: wrap keys in key_fingerprint()"},
   };
   return kRules;
 }
@@ -436,6 +481,7 @@ std::vector<Finding> run_rules(const std::vector<LexedFile>& files,
     rule_banned_fn(f, out);
     rule_partial_read(f, out);
     rule_nondet_test(f, out);
+    rule_trace_no_secret(f, out);
   }
   rule_secret_wipe(files, out);
 
