@@ -38,10 +38,14 @@ cmake --build --preset default -j "$jobs" --target \
 micro_args=()
 fig5_args=(--trials 20)
 fig7_args=(--seconds 0.25)
+# Full runs enforce the scaling floors (>=2.5x capacity at 4 workers,
+# batching closes >=30% of the enclave gap); quick runs only smoke the grid.
+scaling_args=(--scaling --records 64 --enforce)
 if [[ "$quick" == 1 ]]; then
   micro_args=(--quick)
   fig5_args=(--trials 2)
   fig7_args=(--seconds 0.01)
+  scaling_args=(--scaling --records 4)
 fi
 
 echo
@@ -57,4 +61,9 @@ echo "=== bench_fig7_sgx_throughput ==="
 ./build/bench/bench_fig7_sgx_throughput "${fig7_args[@]}" --json "$out_dir/BENCH_fig7.json"
 
 echo
-echo "wrote: $out_dir/BENCH_micro.json $out_dir/BENCH_fig5.json $out_dir/BENCH_fig7.json"
+echo "=== bench_fig7_sgx_throughput --scaling (multi-core data plane) ==="
+./build/bench/bench_fig7_sgx_throughput "${scaling_args[@]}" \
+  --json "$out_dir/BENCH_fig7_scaling.json"
+
+echo
+echo "wrote: $out_dir/BENCH_micro.json $out_dir/BENCH_fig5.json $out_dir/BENCH_fig7.json $out_dir/BENCH_fig7_scaling.json"

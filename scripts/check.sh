@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full local gate: warnings-as-errors build + tests, secret-hygiene lint,
-# then the same suite under ASan(+LSan) and UBSan.
+# the concurrency suite under TSan, then the same suite under ASan(+LSan)
+# and UBSan.
 #
-#   scripts/check.sh            # everything (tier-1, lint, asan, ubsan)
-#   scripts/check.sh --fast     # tier-1 build + tests + lint only
+#   scripts/check.sh            # everything (tier-1, lint, tsan, asan, ubsan)
+#   scripts/check.sh --fast     # tier-1 build + tests + lint + tsan only
 #
 # Run from anywhere; paths resolve relative to the repo root.
 set -euo pipefail
@@ -36,6 +37,18 @@ ctest --preset default -R 'TraceInvariants\.' --output-on-failure
 
 step "bench: quick run + JSON emission (scripts/bench.sh --quick)"
 scripts/bench.sh --quick --out /tmp/mbtls-bench-check
+
+# The multi-core data plane is the only concurrent subsystem; its tests
+# (pool semantics + the parallel-vs-serial byte-identical cross-check) run
+# under TSan even in --fast mode — a data race there corrupts sessions
+# silently, which nothing else in the gate would catch.
+step "tsan: build concurrency tests"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$jobs" --target test_workpool
+
+step "tsan: WorkPool / ReprotectPipeline / DrbgThreading"
+ctest --preset tsan -R 'SpscRing\.|WorkPool\.|ReprotectPipeline\.|DrbgThreading\.' \
+  --output-on-failure
 
 if [[ "$fast" == 1 ]]; then
   step "fast mode: skipping sanitizer builds"

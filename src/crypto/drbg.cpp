@@ -1,6 +1,8 @@
 #include "crypto/drbg.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "crypto/sha2.h"
 
@@ -8,6 +10,22 @@ namespace mbtls::crypto {
 
 namespace {
 constexpr std::uint8_t kZeroNonce[12] = {0};
+}
+
+void Drbg::check_owner_thread() {
+#if MBTLS_DRBG_THREAD_CHECK
+  // Bind-on-first-draw: construction commonly happens on a parent thread
+  // before the generator is handed to the thread that will use it.
+  if (owner_ == std::thread::id{}) {
+    owner_ = std::this_thread::get_id();
+  } else if (owner_ != std::this_thread::get_id()) {
+    std::fprintf(stderr,
+                 "Drbg: drawn from two threads; a Drbg is not thread-safe — "
+                 "fork() a per-worker child or rebind_owner_thread() after a "
+                 "deliberate handoff\n");
+    std::abort();
+  }
+#endif
 }
 
 Drbg::Drbg(ByteView seed) : key_(Sha256::digest(seed)) {
@@ -21,6 +39,7 @@ Drbg::Drbg(std::string_view label, std::uint64_t n) : Drbg([&] {
     }()) {}
 
 void Drbg::fill(MutableByteView out) {
+  check_owner_thread();
   // crypt() XORs keystream into the buffer; zero it first so fill() delivers
   // raw keystream regardless of what the caller's buffer held (u32() passes
   // an uninitialized stack array — XOR alone would leak indeterminate bytes
@@ -29,7 +48,10 @@ void Drbg::fill(MutableByteView out) {
   stream_->crypt(out);
 }
 
-Bytes Drbg::bytes(std::size_t n) { return stream_->keystream(n); }
+Bytes Drbg::bytes(std::size_t n) {
+  check_owner_thread();
+  return stream_->keystream(n);
+}
 
 std::uint32_t Drbg::u32() {
   std::uint8_t b[4];

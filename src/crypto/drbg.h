@@ -5,14 +5,34 @@
 // keys, simulated network jitter, workload generation) flows through a Drbg so
 // that experiments are reproducible bit-for-bit from a seed, mirroring how the
 // paper's experiments fix workloads while the protocol under test stays real.
+//
+// Thread-safety: a Drbg is NOT thread-safe. It is one stateful keystream;
+// concurrent draws would interleave that stream nondeterministically, which
+// destroys both reproducibility and (under contention) the uniformity
+// callers assume. Multi-worker code must give every worker its own
+// generator — fork() a child per worker, the same per-tap discipline the
+// chaos layer uses. Debug and sanitizer builds enforce this: a Drbg binds to
+// the first thread that draws from it and aborts on a draw from any other
+// thread; call rebind_owner_thread() after intentionally handing a
+// generator to a different thread (e.g. moving a forked child into a worker).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <thread>
 
 #include "crypto/chacha20.h"
 #include "util/bytes.h"
+
+// Owner-thread enforcement is active whenever asserts are (debug builds) and
+// in every sanitizer build (the tsan preset is where cross-thread misuse
+// would otherwise hide behind benign-looking interleavings).
+#if !defined(NDEBUG) || defined(MBTLS_SANITIZER_BUILD)
+#define MBTLS_DRBG_THREAD_CHECK 1
+#else
+#define MBTLS_DRBG_THREAD_CHECK 0
+#endif
 
 namespace mbtls::crypto {
 
@@ -37,8 +57,18 @@ class Drbg {
   double real();
 
   /// Derive an independent child generator (used to hand sub-seeds to
-  /// components without sharing a stream).
+  /// components without sharing a stream — one child per worker in
+  /// multi-threaded code).
   Drbg fork(std::string_view label);
+
+  /// Transfer single-thread ownership to the calling thread. Required (in
+  /// checked builds) after moving a Drbg that has already been drawn from
+  /// onto another thread. No-op in unchecked builds.
+  void rebind_owner_thread() {
+#if MBTLS_DRBG_THREAD_CHECK
+    owner_ = std::this_thread::get_id();
+#endif
+  }
 
   ~Drbg() { secure_wipe(key_); }
   Drbg(const Drbg&) = delete;
@@ -47,8 +77,13 @@ class Drbg {
   Drbg& operator=(Drbg&&) = default;
 
  private:
+  void check_owner_thread();
+
   std::unique_ptr<ChaCha20> stream_;
   Bytes key_;  // retained for fork()
+#if MBTLS_DRBG_THREAD_CHECK
+  std::thread::id owner_;  // unset until the first draw
+#endif
 };
 
 }  // namespace mbtls::crypto

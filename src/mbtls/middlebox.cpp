@@ -5,16 +5,27 @@
 namespace mbtls::mb {
 
 namespace {
-tls::Record parse_record_header(const Bytes& raw) {
+// Views of a raw wire record (header included). The hot path works on these
+// views directly; a parsed tls::Record (which copies the payload) is built
+// only on control-plane branches that need one.
+ByteView record_body(const Bytes& raw) {
+  return ByteView(raw).subspan(tls::kRecordHeaderSize);
+}
+
+MutableByteView record_body_mut(Bytes& raw) {
+  return MutableByteView(raw).subspan(tls::kRecordHeaderSize);
+}
+
+tls::Record parse_record(const Bytes& raw) {
   tls::Record rec;
   rec.type = static_cast<tls::ContentType>(raw[0]);
   rec.payload.assign(raw.begin() + tls::kRecordHeaderSize, raw.end());
   return rec;
 }
 
-std::optional<tls::HandshakeType> first_handshake_type(const tls::Record& rec) {
-  if (rec.type != tls::ContentType::kHandshake || rec.payload.empty()) return std::nullopt;
-  return static_cast<tls::HandshakeType>(rec.payload[0]);
+std::optional<tls::HandshakeType> first_handshake_type(tls::ContentType type, ByteView body) {
+  if (type != tls::ContentType::kHandshake || body.empty()) return std::nullopt;
+  return static_cast<tls::HandshakeType>(body[0]);
 }
 }  // namespace
 
@@ -36,7 +47,7 @@ void Middlebox::feed_from_client(ByteView data) {
   // remain the arbiters of validity).
   try {
     down_reader_.feed(data);
-    while (auto raw = down_reader_.take_raw()) handle_downstream_record(std::move(*raw));
+    while (down_reader_.take_raw_into(raw_scratch_)) handle_downstream_record(raw_scratch_);
   } catch (const std::exception&) {
     demote_to_relay("downstream parse error");
     append(to_server_, data);
@@ -46,7 +57,7 @@ void Middlebox::feed_from_client(ByteView data) {
 void Middlebox::feed_from_server(ByteView data) {
   try {
     up_reader_.feed(data);
-    while (auto raw = up_reader_.take_raw()) handle_upstream_record(std::move(*raw));
+    while (up_reader_.take_raw_into(raw_scratch_)) handle_upstream_record(raw_scratch_);
   } catch (const std::exception&) {
     demote_to_relay("upstream parse error");
     append(to_client_, data);
@@ -237,22 +248,23 @@ void Middlebox::flush_buffered() {
     Buffered b = std::move(buffered_data_.front());
     buffered_data_.pop_front();
     if (b.from_client)
-      reprotect_c2s(b.record);
+      reprotect_c2s(b.record.type, MutableByteView(b.record.payload));
     else
-      reprotect_s2c(b.record);
+      reprotect_s2c(b.record.type, MutableByteView(b.record.payload));
   }
 }
 
 // ------------------------------------------------------------ re-protection
 
-// The forward path is zero-copy: the record body is decrypted in place
-// inside the Record's own payload buffer, and the outbound record is sealed
-// directly into the accumulating output buffer (whose capacity is reused
-// across records). Only a configured application processor — which by
-// contract returns a fresh payload — adds an allocation.
+// The forward path is zero-copy and zero-allocation: the feed loop drains
+// each record into one reused scratch buffer, the body is decrypted in place
+// inside that buffer, and the outbound record is sealed directly into the
+// accumulating output buffer (whose capacity is reused across records). Only
+// a configured application processor — which by contract returns a fresh
+// payload — adds an allocation.
 
-void Middlebox::reprotect_c2s(tls::Record& record) {
-  const auto opened = toward_client_->open_c2s_in_place(record.type, record.payload);
+void Middlebox::reprotect_c2s(tls::ContentType type, MutableByteView body) {
+  const auto opened = toward_client_->open_c2s_in_place(type, body);
   if (!opened) {
     ++auth_failures_;
     trace_.instant("mbtls", "reprotect.auth_fail", {{"dir", "c2s"}});
@@ -260,10 +272,10 @@ void Middlebox::reprotect_c2s(tls::Record& record) {
   }
   ByteView payload = *opened;
   Bytes processed;
-  if (record.type == tls::ContentType::kApplicationData && options_.processor) {
+  if (type == tls::ContentType::kApplicationData && options_.processor) {
     processed = options_.processor(/*client_to_server=*/true, payload);
     payload = processed;
-  } else if (record.type == tls::ContentType::kAlert) {
+  } else if (type == tls::ContentType::kAlert) {
     note_alert(payload, /*client_to_server=*/true);
   }
   bytes_processed_ += payload.size();
@@ -272,11 +284,11 @@ void Middlebox::reprotect_c2s(tls::Record& record) {
     trace_.counter("reprotect.records", 1);
     trace_.counter("reprotect.bytes", static_cast<double>(payload.size()));
   }
-  toward_server_->seal_c2s_into(record.type, payload, to_server_);
+  toward_server_->seal_c2s_into(type, payload, to_server_);
 }
 
-void Middlebox::reprotect_s2c(tls::Record& record) {
-  const auto opened = toward_server_->open_s2c_in_place(record.type, record.payload);
+void Middlebox::reprotect_s2c(tls::ContentType type, MutableByteView body) {
+  const auto opened = toward_server_->open_s2c_in_place(type, body);
   if (!opened) {
     ++auth_failures_;
     trace_.instant("mbtls", "reprotect.auth_fail", {{"dir", "s2c"}});
@@ -284,10 +296,10 @@ void Middlebox::reprotect_s2c(tls::Record& record) {
   }
   ByteView payload = *opened;
   Bytes processed;
-  if (record.type == tls::ContentType::kApplicationData && options_.processor) {
+  if (type == tls::ContentType::kApplicationData && options_.processor) {
     processed = options_.processor(/*client_to_server=*/false, payload);
     payload = processed;
-  } else if (record.type == tls::ContentType::kAlert) {
+  } else if (type == tls::ContentType::kAlert) {
     note_alert(payload, /*client_to_server=*/false);
   }
   bytes_processed_ += payload.size();
@@ -296,13 +308,17 @@ void Middlebox::reprotect_s2c(tls::Record& record) {
     trace_.counter("reprotect.records", 1);
     trace_.counter("reprotect.bytes", static_cast<double>(payload.size()));
   }
-  toward_client_->seal_s2c_into(record.type, payload, to_client_);
+  toward_client_->seal_s2c_into(type, payload, to_client_);
 }
 
 // ------------------------------------------------------------ record loops
 
-void Middlebox::handle_downstream_record(Bytes raw) {
-  tls::Record record = parse_record_header(raw);
+// `raw` is the caller's reused scratch buffer; branches that keep the record
+// beyond this call (buffering, hello parsing) copy what they need — all of
+// those are control-plane paths.
+
+void Middlebox::handle_downstream_record(Bytes& raw) {
+  const auto type = static_cast<tls::ContentType>(raw[0]);
 
   if (mode_ == Mode::kRelay) {
     append(to_server_, raw);
@@ -310,11 +326,11 @@ void Middlebox::handle_downstream_record(Bytes raw) {
   }
 
   if (!saw_client_hello_) {
-    if (first_handshake_type(record) == tls::HandshakeType::kClientHello) {
-      on_client_hello(record, raw);
+    if (first_handshake_type(type, record_body(raw)) == tls::HandshakeType::kClientHello) {
+      on_client_hello(parse_record(raw), raw);
       return;
     }
-    if (record.type == tls::ContentType::kMbtlsMiddleboxAnnouncement) {
+    if (type == tls::ContentType::kMbtlsMiddleboxAnnouncement) {
       // Another middlebox (closer to the client) claiming a server-side slot.
       ++announcements_seen_downstream_;
       append(to_server_, raw);
@@ -325,9 +341,9 @@ void Middlebox::handle_downstream_record(Bytes raw) {
     return;
   }
 
-  switch (record.type) {
+  switch (type) {
     case tls::ContentType::kMbtlsEncapsulated: {
-      const auto enc = tls::EncapsulatedRecord::parse(record.payload);
+      const auto enc = tls::EncapsulatedRecord::parse(record_body(raw));
       if (enc && options_.side == Side::kClientSide && subchannel_assigned_ &&
           enc->subchannel == subchannel_) {
         feed_secondary(enc->inner_record);
@@ -342,9 +358,9 @@ void Middlebox::handle_downstream_record(Bytes raw) {
       return;
     case tls::ContentType::kApplicationData:
       if (joined_) {
-        reprotect_c2s(record);
+        reprotect_c2s(type, record_body_mut(raw));
       } else if (mode_ == Mode::kJoining && secondary_ && secondary_->handshake_done()) {
-        buffered_data_.push_back({true, record, std::move(raw)});
+        buffered_data_.push_back({true, parse_record(raw), raw});
       } else {
         // The session went to data phase without us: the peer is legacy.
         observed_legacy_peer_ = options_.side == Side::kServerSide;
@@ -354,12 +370,12 @@ void Middlebox::handle_downstream_record(Bytes raw) {
       return;
     case tls::ContentType::kAlert:
       if (joined_) {
-        reprotect_c2s(record);
+        reprotect_c2s(type, record_body_mut(raw));
       } else if (mode_ == Mode::kJoining && secondary_ && secondary_->handshake_done()) {
         // A hop-sealed alert racing our key material (e.g. close_notify right
         // after False-Start data): hold it in order with that data — relaying
         // it raw would reach the next hop under the wrong keys.
-        buffered_data_.push_back({true, record, std::move(raw)});
+        buffered_data_.push_back({true, parse_record(raw), raw});
       } else {
         append(to_server_, raw);
       }
@@ -371,17 +387,17 @@ void Middlebox::handle_downstream_record(Bytes raw) {
   }
 }
 
-void Middlebox::handle_upstream_record(Bytes raw) {
-  tls::Record record = parse_record_header(raw);
+void Middlebox::handle_upstream_record(Bytes& raw) {
+  const auto type = static_cast<tls::ContentType>(raw[0]);
 
   if (mode_ == Mode::kRelay) {
     append(to_client_, raw);
     return;
   }
 
-  switch (record.type) {
+  switch (type) {
     case tls::ContentType::kMbtlsEncapsulated: {
-      const auto enc = tls::EncapsulatedRecord::parse(record.payload);
+      const auto enc = tls::EncapsulatedRecord::parse(record_body(raw));
       if (enc && options_.side == Side::kServerSide && subchannel_assigned_ &&
           enc->subchannel == subchannel_) {
         feed_secondary(enc->inner_record);
@@ -398,10 +414,11 @@ void Middlebox::handle_upstream_record(Bytes raw) {
       // (the resumption cache key, §3.5) and — on the client side — claim a
       // subchannel, injecting our secondary ServerHello ahead of it so the
       // next middlebox toward the client numbers itself after us (§3.4).
+      const ByteView body = record_body(raw);
       if (mode_ == Mode::kJoining && primary_session_id_.empty() &&
-          first_handshake_type(record) == tls::HandshakeType::kServerHello) {
+          first_handshake_type(type, body) == tls::HandshakeType::kServerHello) {
         tls::HandshakeReassembler reasm;
-        reasm.feed(record.payload);
+        reasm.feed(body);
         if (const auto msg = reasm.next()) {
           try {
             primary_session_id_ = tls::ServerHello::parse(msg->body).session_id;
@@ -412,7 +429,7 @@ void Middlebox::handle_upstream_record(Bytes raw) {
       }
       if (options_.side == Side::kClientSide && mode_ == Mode::kJoining &&
           !subchannel_assigned_ &&
-          first_handshake_type(record) == tls::HandshakeType::kServerHello) {
+          first_handshake_type(type, body) == tls::HandshakeType::kServerHello) {
         subchannel_ = static_cast<std::uint8_t>(max_subchannel_seen_upstream_ + 1);
         subchannel_assigned_ = true;
         trace_.instant("mbtls", "subchannel.claimed",
@@ -431,9 +448,9 @@ void Middlebox::handle_upstream_record(Bytes raw) {
     }
     case tls::ContentType::kApplicationData:
       if (joined_) {
-        reprotect_s2c(record);
+        reprotect_s2c(type, record_body_mut(raw));
       } else if (mode_ == Mode::kJoining && secondary_ && secondary_->handshake_done()) {
-        buffered_data_.push_back({false, record, std::move(raw)});
+        buffered_data_.push_back({false, parse_record(raw), raw});
       } else {
         observed_legacy_peer_ = options_.side == Side::kServerSide;
         demote_to_relay("data phase reached before join");
@@ -442,9 +459,9 @@ void Middlebox::handle_upstream_record(Bytes raw) {
       return;
     case tls::ContentType::kAlert:
       if (joined_) {
-        reprotect_s2c(record);
+        reprotect_s2c(type, record_body_mut(raw));
       } else if (mode_ == Mode::kJoining && secondary_ && secondary_->handshake_done()) {
-        buffered_data_.push_back({false, record, std::move(raw)});
+        buffered_data_.push_back({false, parse_record(raw), raw});
       } else {
         // A fatal alert during the handshake may mean a strict legacy server
         // choked on our announcement (§3.4): remember that.
@@ -457,6 +474,182 @@ void Middlebox::handle_upstream_record(Bytes raw) {
       append(to_client_, raw);
       return;
   }
+}
+
+// ======================================================================
+// ReprotectPipeline — the multi-core data plane.
+// ======================================================================
+
+ReprotectPipeline::ReprotectPipeline(Options options) : options_(std::move(options)) {
+  if (options_.batch_records == 0) options_.batch_records = 1;
+  scratch_.resize(options_.workers == 0 ? 1 : options_.workers);
+  if (options_.workers > 0) {
+    pool_.emplace(options_.workers, options_.queue_capacity,
+                  [this](std::size_t worker, Batch&& batch) { process_batch(worker, batch); });
+  }
+}
+
+ReprotectPipeline::~ReprotectPipeline() {
+  // The pool destructor drains everything already posted; batches still
+  // pending on sessions are simply dropped (callers wanting their output
+  // call flush() first).
+}
+
+ReprotectPipeline::SessionId ReprotectPipeline::add_session(
+    const tls::HopKeys& toward_client_keys, const tls::HopKeys& toward_server_keys,
+    std::size_t key_len, Middlebox::Processor processor) {
+  auto s = std::make_unique<Session>(toward_client_keys, toward_server_keys, key_len,
+                                     std::move(processor));
+  const SessionId id = sessions_.size();
+  // Sharding rule: one worker owns all of a session's records, so per-hop
+  // sequence numbers advance in submission order, exactly as in the serial
+  // path. Sessions (not records) are the unit of parallelism.
+  s->worker = pool_ ? pool_->shard_worker(id) : 0;
+  sessions_.push_back(std::move(s));
+  return id;
+}
+
+void ReprotectPipeline::submit(SessionId id, bool client_to_server, tls::ContentType type,
+                               ByteView sealed_body) {
+  Session& s = *sessions_[id];
+  // Length-prefixed framing inside the batch buffer: [dir u8][type u8]
+  // [len u32][sealed bytes]. One buffer per batch keeps the queue entry a
+  // single contiguous allocation regardless of batch size.
+  put_u8(s.pending, client_to_server ? 1 : 0);
+  put_u8(s.pending, static_cast<std::uint8_t>(type));
+  put_u32(s.pending, static_cast<std::uint32_t>(sealed_body.size()));
+  append(s.pending, sealed_body);
+  if (++s.pending_count >= options_.batch_records) dispatch(s);
+}
+
+void ReprotectPipeline::dispatch(Session& s) {
+  if (s.pending_count == 0) return;
+  Batch batch;
+  batch.session = &s;
+  batch.count = s.pending_count;
+  batch.data = std::move(s.pending);
+  s.pending.clear();
+  s.pending_count = 0;
+  if (pool_) {
+    // Only sealed record bytes and plain counters cross the queue (lint
+    // rule queue-no-secret); the hop keys stay inside the session state the
+    // owning worker already holds.
+    pool_->post(s.worker, std::move(batch));
+  } else {
+    const std::uint64_t t0 = util::thread_cpu_nanos();
+    process_batch(0, batch);
+    serial_busy_nanos_ += util::thread_cpu_nanos() - t0;
+    // Recycle the batch buffer into the session so steady-state serial mode
+    // allocates nothing per batch.
+    batch.data.clear();
+    s.pending = std::move(batch.data);
+  }
+}
+
+void ReprotectPipeline::flush() {
+  for (auto& s : sessions_) dispatch(*s);
+  if (pool_) pool_->drain();
+}
+
+void ReprotectPipeline::process_batch(std::size_t worker, Batch& batch) {
+  Session& s = *batch.session;
+  WorkerScratch& scratch = scratch_[worker];
+  scratch.spans.clear();
+  scratch.meta.clear();
+  // Walk the framing once up front so the (possibly in-enclave) crypto loop
+  // touches only record views. Reused scratch vectors: no per-batch
+  // allocation at steady state.
+  std::uint8_t* base = batch.data.data();
+  std::size_t off = 0;
+  for (std::uint32_t i = 0; i < batch.count; ++i) {
+    const std::uint8_t dir = base[off];
+    const std::uint8_t rec_type = base[off + 1];
+    const std::size_t len = get_u32(batch.data, off + 2);
+    off += 6;
+    scratch.spans.emplace_back(base + off, len);
+    scratch.meta.push_back(static_cast<std::uint8_t>((rec_type << 1) | (dir & 1)));
+    off += len;
+  }
+  // Modeled per-record I/O handling (receive/classify/deliver) burns on the
+  // owning worker, outside the enclave — matching the Fig. 7 cost model
+  // where only the record crypto crosses the boundary.
+  if (options_.io_cost_iterations != 0) {
+    for (std::uint32_t i = 0; i < batch.count; ++i) sgx::burn_cycles(options_.io_cost_iterations);
+  }
+  const auto crypt_all = [&] {
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+      reprotect_one(s, (scratch.meta[i] & 1) != 0,
+                    static_cast<tls::ContentType>(scratch.meta[i] >> 1), scratch.spans[i]);
+    }
+  };
+  if (options_.enclave && options_.batched_ecalls) {
+    // One boundary crossing per batch: the amortization the scaling bench
+    // measures against the one-ECALL-per-record baseline below.
+    options_.enclave->ecall_batch(batch.count, crypt_all);
+  } else if (options_.enclave) {
+    for (std::uint32_t i = 0; i < batch.count; ++i) {
+      options_.enclave->ecall([&, i] {
+        reprotect_one(s, (scratch.meta[i] & 1) != 0,
+                      static_cast<tls::ContentType>(scratch.meta[i] >> 1), scratch.spans[i]);
+      });
+    }
+  } else {
+    crypt_all();
+  }
+}
+
+void ReprotectPipeline::reprotect_one(Session& s, bool client_to_server, tls::ContentType type,
+                                      MutableByteView body) {
+  // Same open → process → seal sequence as Middlebox::reprotect_c2s/s2c,
+  // operating on per-session state owned by exactly one worker.
+  const auto opened = client_to_server ? s.toward_client.open_c2s_in_place(type, body)
+                                       : s.toward_server.open_s2c_in_place(type, body);
+  if (!opened) {
+    ++s.auth_failures;
+    return;  // P2/P4: drop the unauthenticated record, keep the session
+  }
+  ByteView payload = *opened;
+  Bytes processed;
+  if (type == tls::ContentType::kApplicationData && s.processor) {
+    processed = s.processor(client_to_server, payload);
+    payload = processed;
+  }
+  s.bytes += payload.size();
+  ++s.records;
+  if (client_to_server)
+    s.toward_server.seal_c2s_into(type, payload, s.out_to_server);
+  else
+    s.toward_client.seal_s2c_into(type, payload, s.out_to_client);
+}
+
+std::uint64_t ReprotectPipeline::records_reprotected() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sessions_) total += s->records;
+  return total;
+}
+
+std::uint64_t ReprotectPipeline::bytes_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sessions_) total += s->bytes;
+  return total;
+}
+
+std::uint64_t ReprotectPipeline::auth_failures() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sessions_) total += s->auth_failures;
+  return total;
+}
+
+double ReprotectPipeline::worker_busy_seconds(std::size_t i) const {
+  if (pool_) return pool_->busy_seconds(i);
+  return i == 0 ? static_cast<double>(serial_busy_nanos_) * 1e-9 : 0.0;
+}
+
+double ReprotectPipeline::max_worker_busy_seconds() const {
+  double max_busy = 0.0;
+  const std::size_t n = pool_ ? pool_->worker_count() : 1;
+  for (std::size_t i = 0; i < n; ++i) max_busy = std::max(max_busy, worker_busy_seconds(i));
+  return max_busy;
 }
 
 }  // namespace mbtls::mb

@@ -46,12 +46,12 @@ Enclave::Enclave(Platform& platform, std::string code_identity, ByteView config)
 }
 
 void Enclave::enter() {
-  ++transitions_;
+  transitions_.fetch_add(1, std::memory_order_relaxed);
   burn_cycles(platform_.transition_cost_);
 }
 
 void Enclave::leave() {
-  ++transitions_;
+  transitions_.fetch_add(1, std::memory_order_relaxed);
   burn_cycles(platform_.transition_cost_);
 }
 

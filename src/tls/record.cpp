@@ -159,4 +159,13 @@ std::optional<Bytes> RecordReader::take_raw() {
   return raw;
 }
 
+bool RecordReader::take_raw_into(Bytes& raw) {
+  const auto size = complete_record_size();
+  if (!size) return false;
+  raw.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + *size));
+  consume(*size);
+  return true;
+}
+
 }  // namespace mbtls::tls

@@ -87,6 +87,12 @@ class RecordReader {
   /// records use this to cut through without re-framing.
   std::optional<Bytes> take_raw();
 
+  /// Allocation-free variant: assigns the next complete record into `raw`
+  /// (reusing its capacity) and returns true, or returns false with `raw`
+  /// untouched when no complete record is buffered. The middlebox data path
+  /// drains records through one reused scratch buffer with this.
+  bool take_raw_into(Bytes& raw);
+
   bool buffer_empty() const { return pos_ == buffer_.size(); }
 
  private:

@@ -1,0 +1,35 @@
+#include "util/workpool.h"
+
+#include <ctime>
+
+namespace mbtls::util {
+
+std::uint64_t thread_cpu_nanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+void spin_backoff(unsigned& spins) {
+  // A short PAUSE burst catches a peer that is one store away; past that,
+  // yield the timeslice — essential when workers outnumber cores, where
+  // spinning would only steal cycles from the thread being waited on.
+  if (++spins < 64) {
+    cpu_relax();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace mbtls::util

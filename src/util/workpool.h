@@ -1,0 +1,196 @@
+// Fixed worker pool over single-producer/single-consumer ring queues — the
+// substrate of the multi-core middlebox data plane (see DESIGN.md
+// "Multi-core data plane").
+//
+// Design constraints, in order:
+//  1. Shard affinity. A job posted to shard k always runs on worker
+//     k % workers, and jobs within one shard run in FIFO order. The mbTLS
+//     reprotect pipeline maps one session to one shard, which is what keeps
+//     per-hop AEAD sequence numbers and record ordering correct without any
+//     cross-worker synchronization.
+//  2. No hot-path allocation. Each worker owns one pre-sized SPSC ring;
+//     posting moves the job into a slot, popping moves it out. The pool
+//     itself never allocates after construction.
+//  3. Bounded memory. Rings are fixed-capacity; a full ring applies
+//     backpressure to the producer (post() spins-then-yields) instead of
+//     growing without bound.
+//
+// Threading contract: post()/try_post()/drain() must all be called from ONE
+// producer thread (the rings are single-producer). The handler runs on the
+// worker threads; anything it touches must be sharded or otherwise owned by
+// exactly one worker. Key material must never cross the queue except as
+// sealed records (lint rule queue-no-secret).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace mbtls::util {
+
+/// CPU time consumed by the calling thread, in nanoseconds
+/// (CLOCK_THREAD_CPUTIME_ID). Per-worker busy time measured with this is
+/// scheduling-independent: on a machine with fewer cores than workers the
+/// threads timeslice, but each thread's own CPU time still measures exactly
+/// the compute it performed — which is what the Fig. 7 scaling bench reports
+/// as capacity throughput.
+std::uint64_t thread_cpu_nanos();
+
+/// One polite busy-wait step (PAUSE/YIELD instruction where available).
+void cpu_relax();
+
+/// Adaptive wait for queue spins: a short cpu_relax() burst, then a
+/// scheduler yield so a single-core machine makes progress.
+void spin_backoff(unsigned& spins);
+
+/// Bounded lock-free single-producer/single-consumer ring. Capacity is
+/// rounded up to a power of two. T must be default-constructible and
+/// movable; a moved-out slot keeps its (empty) husk until overwritten.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer side. Returns false (without consuming `v`) when full.
+  bool try_push(T&& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    std::optional<T> out(std::move(slots_[head & mask_]));
+    head_.store(head + 1, std::memory_order_release);
+    return out;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Head and tail on separate cache lines: the producer writes tail_ while
+  // the consumer writes head_; sharing a line would ping-pong it.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+/// Fixed pool of workers, one SPSC ring each, with shard-affine routing.
+template <typename Job>
+class WorkPool {
+ public:
+  /// Runs on a worker thread for every job. `worker` is the worker index —
+  /// handlers use it to reach per-worker scratch state without locks.
+  using Handler = std::function<void(std::size_t worker, Job&& job)>;
+
+  WorkPool(std::size_t workers, std::size_t queue_capacity, Handler handler)
+      : handler_(std::move(handler)) {
+    if (workers == 0) workers = 1;
+    lanes_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      lanes_.push_back(std::make_unique<Lane>(queue_capacity));
+    // Threads start only after every lane exists (worker_main indexes lanes_).
+    for (std::size_t i = 0; i < workers; ++i)
+      lanes_[i]->thread = std::thread([this, i] { worker_main(i); });
+  }
+
+  /// Drains every ring, then joins. Jobs posted before destruction all run.
+  ~WorkPool() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& lane : lanes_)
+      if (lane->thread.joinable()) lane->thread.join();
+  }
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  std::size_t worker_count() const { return lanes_.size(); }
+  std::size_t shard_worker(std::size_t shard) const { return shard % lanes_.size(); }
+
+  /// Post a job to its shard's worker; blocks (spin, then yield) while that
+  /// worker's ring is full — bounded memory via backpressure.
+  void post(std::size_t shard, Job job) {
+    Lane& lane = *lanes_[shard_worker(shard)];
+    unsigned spins = 0;
+    // try_push leaves `job` untouched on failure, so the retry move is safe.
+    while (!lane.ring.try_push(std::move(job))) spin_backoff(spins);
+    ++lane.posted;
+  }
+
+  /// Non-blocking post: false (job untouched) when the shard's ring is full.
+  bool try_post(std::size_t shard, Job& job) {
+    Lane& lane = *lanes_[shard_worker(shard)];
+    if (!lane.ring.try_push(std::move(job))) return false;
+    ++lane.posted;
+    return true;
+  }
+
+  /// Barrier: returns once every job posted so far has finished running.
+  /// Completion counts are released by the workers after the handler returns,
+  /// so the producer observes all handler side effects after drain().
+  void drain() {
+    for (auto& lane : lanes_) {
+      unsigned spins = 0;
+      while (lane->completed.load(std::memory_order_acquire) < lane->posted)
+        spin_backoff(spins);
+    }
+  }
+
+  /// CPU time worker `i` spent inside the handler (idle spinning excluded).
+  double busy_seconds(std::size_t i) const {
+    return static_cast<double>(lanes_[i]->busy_nanos.load(std::memory_order_acquire)) * 1e-9;
+  }
+  std::uint64_t jobs_done(std::size_t i) const {
+    return lanes_[i]->completed.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Lane {
+    explicit Lane(std::size_t queue_capacity) : ring(queue_capacity) {}
+    SpscRing<Job> ring;
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> busy_nanos{0};
+    std::uint64_t posted = 0;  // producer thread only
+    std::thread thread;
+  };
+
+  void worker_main(std::size_t index) {
+    Lane& lane = *lanes_[index];
+    unsigned spins = 0;
+    for (;;) {
+      if (auto job = lane.ring.try_pop()) {
+        const std::uint64_t t0 = thread_cpu_nanos();
+        handler_(index, std::move(*job));
+        lane.busy_nanos.fetch_add(thread_cpu_nanos() - t0, std::memory_order_relaxed);
+        lane.completed.fetch_add(1, std::memory_order_release);
+        spins = 0;
+        continue;
+      }
+      if (stop_.load(std::memory_order_acquire) && lane.ring.empty()) return;
+      spin_backoff(spins);
+    }
+  }
+
+  Handler handler_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace mbtls::util

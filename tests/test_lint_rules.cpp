@@ -96,19 +96,24 @@ TEST(LintRules, BadFixturesTripEveryRuleAtDocumentedLines) {
   EXPECT_TRUE(run.has("src/tls/bad_trace.cpp", 15, "trace-no-secret"));
   EXPECT_TRUE(run.has("src/tls/bad_trace.cpp", 16, "trace-no-secret"));
 
+  // queue-no-secret: raw key material posted/submitted to a worker queue.
+  EXPECT_TRUE(run.has("src/util/bad_queue.cpp", 15, "queue-no-secret"));
+  EXPECT_TRUE(run.has("src/util/bad_queue.cpp", 16, "queue-no-secret"));
+
   // The exact finding multiset: 10 on time(nullptr) doubles the srand line.
   EXPECT_EQ(run.count_mentioning("bad_compare.cpp"), 3);
   EXPECT_EQ(run.count_mentioning("bad_wipe.cpp"), 2);
   EXPECT_EQ(run.count_mentioning("bad_parser.cpp"), 6);
   EXPECT_EQ(run.count_mentioning("bad_nondet.cpp"), 6);
   EXPECT_EQ(run.count_mentioning("bad_trace.cpp"), 2);
-  EXPECT_EQ(static_cast<int>(run.lines.size()), 19);
+  EXPECT_EQ(run.count_mentioning("bad_queue.cpp"), 2);
+  EXPECT_EQ(static_cast<int>(run.lines.size()), 21);
 }
 
 TEST(LintRules, GoodFixturesAreClean) {
   for (const char* rel : {"src/crypto/good_compare.cpp", "src/crypto/good_wipe.cpp",
                           "src/tls/good_parser.cpp", "src/tls/good_trace.cpp",
-                          "tests/good_det.cpp"}) {
+                          "src/util/good_queue.cpp", "tests/good_det.cpp"}) {
     const LintRun run = run_lint(kFixtures + "/" + rel);
     EXPECT_EQ(run.exit_code, 0) << rel;
     EXPECT_TRUE(run.lines.empty()) << rel << " produced: " << run.lines.front();
@@ -121,6 +126,7 @@ TEST(LintRules, NoFindingsOnGoodTwinsInFullRun) {
   EXPECT_EQ(run.count_mentioning("good_wipe.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_parser.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_trace.cpp"), 0);
+  EXPECT_EQ(run.count_mentioning("good_queue.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_det.cpp"), 0);
 }
 
@@ -138,8 +144,8 @@ TEST(LintRules, ListRulesNamesTheCatalogue) {
   ASSERT_EQ(run.exit_code, 0);
   std::string all;
   for (const auto& l : run.lines) all += l + "\n";
-  for (const char* rule : {"secret-compare", "secret-wipe", "banned-fn",
-                           "partial-read", "nondet-test", "trace-no-secret"}) {
+  for (const char* rule : {"secret-compare", "secret-wipe", "banned-fn", "partial-read",
+                           "nondet-test", "trace-no-secret", "queue-no-secret"}) {
     EXPECT_NE(all.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,19 @@
+// Lint fixture: key material must never cross the data-plane worker queue —
+// both submissions here trip `queue-no-secret`. Expected file:line pairs are
+// asserted in tests/test_lint_rules.cpp — keep line numbers stable.
+#include <string>
+
+namespace fixture {
+
+struct WorkQueue {
+  void post(unsigned long shard, const std::string& payload);
+  void submit(const std::string& payload);
+};
+
+void ship_session(WorkQueue& q, const std::string& session_key,
+                  const std::string& hop_secret) {
+  q.post(0, session_key);  // line 15: raw key posted to a worker queue
+  q.submit(hop_secret);    // line 16: raw secret submitted to a worker queue
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Lint fixture: the clean twin of bad_queue.cpp. Sealed records, public
+// metadata, and an annotated exemption — must produce no findings.
+#include <string>
+
+namespace fixture {
+
+struct Hop {
+  std::string seal(int type, const std::string& plaintext);
+};
+
+struct WorkQueue {
+  void post(unsigned long shard, const std::string& payload);
+  void submit(const std::string& payload);
+};
+
+void ship_session(WorkQueue& q, Hop& hop, const std::string& master_secret,
+                  unsigned long key_len) {
+  q.post(0, hop.seal(23, master_secret));  // sealed record: ciphertext may cross
+  q.submit(std::to_string(key_len));       // public metadata about a key
+  q.post(1, master_secret);  // lint: allow-queue-no-secret
+}
+
+}  // namespace fixture

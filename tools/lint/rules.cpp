@@ -444,6 +444,53 @@ void rule_trace_no_secret(const LexedFile& f, std::vector<Finding>& out) {
   }
 }
 
+// ------------------------------------------------------ rule: queue-no-secret
+
+const char* kQueueNoSecret = "queue-no-secret";
+
+/// The multi-core data plane's threading contract (util/workpool.h): key
+/// material must never cross a worker queue — workers hold their sessions'
+/// keys; only sealed record bytes travel. Any secret-named identifier inside
+/// the argument list of a queue-submission member call (`x.post(...)`,
+/// `x.try_post(...)`, `x.submit(...)`, `x.enqueue(...)`) is flagged unless
+/// it is wrapped in seal(...) — a sealed record is ciphertext, which is
+/// exactly what the queue is for.
+void rule_queue_no_secret(const LexedFile& f, std::vector<Finding>& out) {
+  if (!in_src(f.path)) return;
+  const auto& toks = f.tokens;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "post" && t.text != "try_post" && t.text != "submit" &&
+        t.text != "enqueue") {
+      continue;
+    }
+    if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+    const std::size_t close = match_paren(toks, i + 1);
+    if (!allowed(f, t.line, kQueueNoSecret)) {
+      for (std::size_t j = i + 2; j < close; ++j) {
+        // seal(...)/seal_into(...) turn a secret payload into ciphertext
+        // before it reaches the queue — skip over the whole argument span.
+        if (toks[j].kind == TokenKind::kIdentifier &&
+            (toks[j].text == "seal" || toks[j].text == "seal_into") && j + 1 < close &&
+            is_punct(toks[j + 1], "(")) {
+          j = match_paren(toks, j + 1);
+          continue;
+        }
+        if (toks[j].kind == TokenKind::kIdentifier && is_secret_name(toks[j].text) &&
+            !allowed(f, toks[j].line, kQueueNoSecret)) {
+          out.push_back({f.path, toks[j].line, kQueueNoSecret,
+                         "secret '" + toks[j].text +
+                             "' posted onto a worker queue; only sealed records may cross "
+                             "the data-plane queue (see util/workpool.h)"});
+        }
+      }
+    }
+    i = close;
+  }
+}
+
 }  // namespace
 
 bool is_secret_name(const std::string& identifier) {
@@ -469,6 +516,8 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"nondet-test", "tests must be deterministic: no srand/rand/random_device/wall-clock seeds"},
       {"trace-no-secret",
        "trace emitters never receive key material: wrap keys in key_fingerprint()"},
+      {"queue-no-secret",
+       "worker queues never receive key material: only sealed records cross the data plane"},
   };
   return kRules;
 }
@@ -482,6 +531,7 @@ std::vector<Finding> run_rules(const std::vector<LexedFile>& files,
     rule_partial_read(f, out);
     rule_nondet_test(f, out);
     rule_trace_no_secret(f, out);
+    rule_queue_no_secret(f, out);
   }
   rule_secret_wipe(files, out);
 
