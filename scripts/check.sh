@@ -25,9 +25,18 @@ cmake --build --preset default -j "$jobs"
 step "tier-1: ctest"
 ctest --preset default -j "$jobs"
 
-step "mbtls-lint: src/ tests/ tools/ bench/"
-./build/tools/lint/mbtls-lint src tests tools bench
-echo "lint clean"
+step "mbtls-lint: src/ tests/ tools/ bench/ (dataflow + baseline)"
+# Machine-readable findings; the per-rule counts land on stderr. A finding
+# is fatal unless it is in the reviewed baseline (tools/lint/lint_baseline.txt).
+lint_json=/tmp/mbtls-lint-findings.json
+if ./build/tools/lint/mbtls-lint --json --baseline tools/lint/lint_baseline.txt \
+    src tests tools bench > "$lint_json"; then
+  echo "lint clean (findings: $lint_json)"
+else
+  echo "lint FAILED — non-baselined findings:" >&2
+  cat "$lint_json" >&2
+  exit 1
+fi
 
 step "chaos: fault-injection pass (ctest -R Chaos)"
 ctest --preset default -R 'Chaos\.' --output-on-failure

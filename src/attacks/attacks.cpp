@@ -417,8 +417,10 @@ bool mip_reads_keys_from_memory(Protocol protocol) {
   if (!scenario->healthy()) return false;
   scenario->client_send(to_bytes(std::string_view("warm up the data path")));
   scenario->pump();
-  const Bytes key = scenario->bridge_key();
-  return !scenario->platform.adversary_find_secret(key).empty();
+  Bytes key = scenario->bridge_key();
+  const bool found = !scenario->platform.adversary_find_secret(key).empty();
+  secure_wipe(key);
+  return found;
 }
 
 bool record_compare(Protocol protocol) {

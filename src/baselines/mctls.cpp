@@ -17,7 +17,7 @@ Bytes mac_over(ByteView key, std::uint64_t seq, ByteView payload) {
 }  // namespace
 
 McContextKeys derive_context_keys(ByteView client_share, ByteView server_share) {
-  const Bytes ikm = concat({client_share, server_share});
+  Bytes ikm = concat({client_share, server_share});
   McContextKeys keys;
   keys.reader_key = crypto::hkdf(crypto::HashAlgo::kSha256, {}, ikm,
                                  to_bytes(std::string_view("mctls reader")), 32);
@@ -25,6 +25,7 @@ McContextKeys derive_context_keys(ByteView client_share, ByteView server_share) 
                                  to_bytes(std::string_view("mctls writer")), 32);
   keys.endpoint_mac = crypto::hkdf(crypto::HashAlgo::kSha256, {}, ikm,
                                    to_bytes(std::string_view("mctls endpoint")), 32);
+  secure_wipe(ikm);
   return keys;
 }
 

@@ -15,9 +15,9 @@ Bytes PublicKey::spki_der() const {
   using namespace asn1;
   if (type_ == KeyType::kRsa) {
     const Bytes alg = encode_sequence({encode_oid(kOidRsaEncryption), encode_null()});
-    const Bytes key =
+    const Bytes pub_der =
         encode_sequence({encode_integer(rsa_.n), encode_integer(rsa_.e)});
-    return encode_sequence({alg, encode_bit_string(key)});
+    return encode_sequence({alg, encode_bit_string(pub_der)});
   }
   const Bytes alg =
       encode_sequence({encode_oid(kOidEcPublicKey), encode_oid(kOidPrime256v1)});
@@ -35,9 +35,9 @@ std::optional<PublicKey> PublicKey::from_spki(ByteView der) {
     if (oid == kOidRsaEncryption) {
       alg.null();
       alg.expect_end();
-      const Bytes key_bits = spki.bit_string();
+      const Bytes spki_bits = spki.bit_string();
       spki.expect_end();
-      asn1::Parser kp(key_bits);
+      asn1::Parser kp(spki_bits);
       asn1::Parser seq = kp.sequence();
       kp.expect_end();
       rsa::RsaPublicKey pub;

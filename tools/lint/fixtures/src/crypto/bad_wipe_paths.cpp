@@ -1,0 +1,23 @@
+// Lint fixture: `wipe-all-paths` must catch an early return that leaks a
+// secret local even though the happy path wipes it — the single-pass
+// `secret-wipe` heuristic sees the wipe call and stays quiet.
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<unsigned char>;
+
+Bytes hkdf_expand(const Bytes& prk, int n);
+void install(const Bytes& okm);
+
+bool install_keys(const Bytes& prk, bool resumed) {
+  Bytes okm = hkdf_expand(prk, 64);  // secret-named owning local
+  if (resumed) {
+    return false;  // line 16: leaks `okm` — the early return skips the wipe
+  }
+  install(okm);
+  secure_wipe(okm);  // the happy path *does* wipe: the old heuristic is happy
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// Lint fixture (good twin): every exit path wipes, moves out, or returns
+// the secret — `wipe-all-paths` stays quiet.
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<unsigned char>;
+
+Bytes hkdf_expand(const Bytes& prk, int n);
+void install(const Bytes& okm);
+
+bool install_keys(const Bytes& prk, bool resumed) {
+  Bytes okm = hkdf_expand(prk, 64);
+  if (resumed) {
+    secure_wipe(okm);  // the early path wipes too
+    return false;
+  }
+  install(okm);
+  secure_wipe(okm);
+  return true;
+}
+
+Bytes derive_for_caller(const Bytes& prk) {
+  Bytes okm = hkdf_expand(prk, 64);
+  return okm;  // bare return transfers ownership to the caller
+}
+
+class KeySchedule {
+ public:
+  void stash(const Bytes& prk) {
+    Bytes okm = hkdf_expand(prk, 64);
+    current_okm_ = std::move(okm);  // moved into a member the dtor wipes
+  }
+  ~KeySchedule() { secure_wipe(current_okm_); }
+
+ private:
+  Bytes current_okm_;
+};
+
+}  // namespace fixture

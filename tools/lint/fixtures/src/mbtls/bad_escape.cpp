@@ -1,0 +1,36 @@
+// Lint fixture: secrets laundered through neutrally-named locals must trip
+// `secret-escape` — the name-based trace/queue rules cannot see these flows.
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<unsigned char>;
+
+struct Trace {
+  void instant(const char* what, const Bytes& v);
+};
+struct WorkPool {
+  void post(Bytes v);
+};
+
+class Session {
+ public:
+  ~Session() { secure_wipe(master_secret_); }
+
+  // Value-returning key material is not itself a finding: it feeds the call
+  // summary, and the escape is caught at the eventual sink in the caller.
+  const Bytes& exporter_material() const { return master_secret_; }
+
+  void flush(Trace& trace, WorkPool& pool) {
+    Bytes buf = master_secret_;    // neutral name, direct copy of a secret
+    trace.instant("resume", buf);  // line 26: secret-escape at a trace sink
+
+    Bytes material = exporter_material();  // tainted via the call summary
+    pool.post(material);  // line 29: secret-escape at a queue sink
+  }
+
+ private:
+  Bytes master_secret_;
+};
+
+}  // namespace fixture

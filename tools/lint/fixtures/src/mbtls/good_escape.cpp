@@ -1,0 +1,34 @@
+// Lint fixture (good twin): sealed or fingerprinted values may cross trace
+// and queue boundaries — the sanitizers stop taint at the sink.
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<unsigned char>;
+
+struct Trace {
+  void instant(const char* what, const Bytes& v);
+};
+struct WorkPool {
+  void post(Bytes v);
+};
+
+class Session {
+ public:
+  ~Session() { secure_wipe(master_secret_); }
+
+  const Bytes& exporter_material() const { return master_secret_; }
+
+  void flush(Trace& trace, WorkPool& pool) {
+    Bytes digest = key_fingerprint(master_secret_);  // sanitized at the source
+    trace.instant("resume", digest);
+    Bytes record = seal(exporter_material());  // sealed before crossing
+    pool.post(record);
+    trace.instant("resume", key_fingerprint(master_secret_));  // at the sink
+  }
+
+ private:
+  Bytes master_secret_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Lint fixture: the lexer must survive raw strings, digit separators, and
+// comment line continuations — and still flag real violations after them.
+namespace fixture {
+
+struct Emitter {
+  void instant(const char* what, int v);
+};
+
+// Banned tokens inside a raw string are data, not code:
+static const char* kDoc = R"doc(
+  strcpy(dst, src);
+  memcmp(secret_a, secret_b, n);
+)doc";
+
+static const int kBudget = 1'000'000;  // digit separators lex as one number
+
+void leak(Emitter& trace, int session_key) {
+  // the next physical line is comment text, not a second violation: \
+     trace.instant("swallowed", session_key);
+  trace.instant("key", session_key);  // line 20: trace-no-secret still fires
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Lint fixture (good twin): the same lexer stressors with no violation —
+// nothing inside the raw string or the continued comment may be flagged.
+namespace fixture {
+
+struct Emitter {
+  void instant(const char* what, int v);
+};
+
+static const char* kDoc = R"doc(
+  strcpy(dst, src);
+  srand(time(nullptr));
+)doc";
+
+static const int kWindow = 0x10'000;  // separators in hex literals too
+
+void report(Emitter& trace, int session_key) {
+  // fingerprints may cross; the continuation stays a comment: \
+     trace.instant("swallowed", session_key);
+  trace.instant("key", key_fingerprint(session_key));
+}
+
+}  // namespace fixture

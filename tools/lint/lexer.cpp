@@ -16,6 +16,12 @@ const char* kPuncts[] = {
     "++",  "--",
 };
 
+/// True if `id` is a raw-string-literal encoding prefix (the `R` is part of
+/// the identifier token as lexed: `R`, `LR`, `uR`, `UR`, `u8R`).
+bool is_raw_string_prefix(const std::string& id) {
+  return id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+}
+
 // Record the directives of a `// lint: a, b` comment body into `out`.
 void parse_lint_comment(const std::string& comment, int line, LexedFile& out) {
   const std::string tag = "lint:";
@@ -57,12 +63,37 @@ LexedFile lex(std::string path, const std::string& src) {
       ++i;
       continue;
     }
-    // Line comment: capture for `// lint:` directives, otherwise skip.
+    // Backslash line continuation in ordinary code: splice the lines (the
+    // token stream must not see a stray '\' punct, and the next line is a
+    // continuation, not a fresh statement).
+    if (c == '\\' && i + 1 < n && (src[i + 1] == '\n' || (src[i + 1] == '\r' && i + 2 < n &&
+                                                          src[i + 2] == '\n'))) {
+      i += (src[i + 1] == '\n') ? 2 : 3;
+      ++line;
+      continue;
+    }
+    // Line comment: capture for `// lint:` directives, otherwise skip. A
+    // trailing backslash splices the next physical line into the comment, so
+    // keep consuming (otherwise the continuation would be lexed as code).
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      std::size_t end = src.find('\n', i);
-      if (end == std::string::npos) end = n;
-      parse_lint_comment(src.substr(i + 2, end - i - 2), line, out);
-      i = end;
+      const int comment_line = line;
+      std::string body;
+      std::size_t j = i + 2;
+      while (true) {
+        std::size_t end = src.find('\n', j);
+        if (end == std::string::npos) end = n;
+        std::size_t text_end = end;
+        while (text_end > j && src[text_end - 1] == '\r') --text_end;
+        const bool continued = text_end > j && src[text_end - 1] == '\\';
+        body.append(src, j, (continued ? text_end - 1 : text_end) - j);
+        if (!continued || end == n) {
+          i = end;
+          break;
+        }
+        ++line;
+        j = end + 1;
+      }
+      parse_lint_comment(body, comment_line, out);
       continue;
     }
     // Block comment (may span lines; annotations only honored line-by-line).
@@ -88,11 +119,18 @@ LexedFile lex(std::string path, const std::string& src) {
       }
       continue;
     }
-    // Raw string literal.
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t j = i + 2;
+    // Raw string literal, with or without an encoding prefix. The delimiter
+    // is at most 16 chars and may not contain whitespace — a malformed
+    // candidate falls through to ordinary string lexing instead of scanning
+    // to EOF.
+    auto lex_raw_string = [&](std::size_t quote) -> bool {
+      // `quote` is the index of the '"' that follows the R prefix.
+      std::size_t j = quote + 1;
       std::string delim;
-      while (j < n && src[j] != '(') delim += src[j++];
+      while (j < n && src[j] != '(' && delim.size() <= 16 &&
+             !std::isspace(static_cast<unsigned char>(src[j])))
+        delim += src[j++];
+      if (j >= n || src[j] != '(') return false;
       const std::string close = ")" + delim + "\"";
       std::size_t end = src.find(close, j);
       if (end == std::string::npos) end = n;
@@ -100,8 +138,9 @@ LexedFile lex(std::string path, const std::string& src) {
         if (src[k] == '\n') ++line;
       push(TokenKind::kString, "");
       i = (end == n) ? n : end + close.size();
-      continue;
-    }
+      return true;
+    };
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"' && lex_raw_string(i + 1)) continue;
     // String / char literal.
     if (c == '"' || c == '\'') {
       const char quote = c;
@@ -118,13 +157,21 @@ LexedFile lex(std::string path, const std::string& src) {
     if (is_ident_start(c)) {
       std::size_t j = i;
       while (j < n && is_ident_char(src[j])) ++j;
-      push(TokenKind::kIdentifier, src.substr(i, j - i));
+      std::string id = src.substr(i, j - i);
+      // Prefixed raw string (`u8R"(...)"` etc.): the prefix must not be
+      // emitted as an identifier, or the literal body would be lexed as code.
+      if (is_raw_string_prefix(id) && j < n && src[j] == '"' && lex_raw_string(j)) continue;
+      push(TokenKind::kIdentifier, std::move(id));
       i = j;
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i;
       while (j < n && (is_ident_char(src[j]) || src[j] == '.' ||
+                       // Digit separator: 1'000'000 is one number token, not
+                       // a number followed by a char literal.
+                       (src[j] == '\'' && j + 1 < n &&
+                        std::isalnum(static_cast<unsigned char>(src[j + 1]))) ||
                        ((src[j] == '+' || src[j] == '-') && j > i &&
                         (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
                          src[j - 1] == 'P'))))

@@ -1,19 +1,27 @@
 // mbtls-lint: repo-specific secret-hygiene static analyzer.
 //
 // Usage:
-//   mbtls-lint [--rule <id>]... [--list-rules] <file-or-dir>...
+//   mbtls-lint [--rule <id>]... [--json] [--baseline <file>] [--list-rules]
+//              <file-or-dir>...
 //
 // Directories are walked recursively for C++ sources; subdirectories named
 // "fixtures" or starting with "build" are skipped so `mbtls-lint src tests`
 // from the repo root never scans build trees or the linter's own known-bad
 // fixture files (point it AT the fixtures dir to lint them).
 //
-// Output is one diagnostic per line, `file:line: rule-id: message`, sorted.
-// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+// Output is one diagnostic per line, `file:line: rule-id: message`, sorted;
+// with --json, a JSON array of {file, line, rule, symbol, message} objects.
+// A --baseline file holds reviewed suppressions, one per line:
+//   <rule-id> <file-suffix> [<symbol>] -- <justification>
+// Findings matching an entry are suppressed (reported to stderr as counts);
+// unused entries get a stderr warning so the baseline burns down over time.
+// Exit status: 0 clean, 1 non-baselined violations, 2 usage or I/O error.
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -61,11 +69,99 @@ std::string read_file(const fs::path& p) {
   return ss.str();
 }
 
+// ----------------------------------------------------- suppression baseline
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file_suffix;
+  std::string symbol;  // optional: "" matches any symbol
+  std::string reason;
+  int line = 0;
+  bool used = false;
+};
+
+std::vector<BaselineEntry> load_baseline(const fs::path& p) {
+  std::ifstream in(p);
+  if (!in) throw std::runtime_error("cannot read baseline " + p.string());
+  std::vector<BaselineEntry> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    BaselineEntry e;
+    e.line = lineno;
+    const std::size_t dashes = line.find(" -- ");
+    if (dashes != std::string::npos) e.reason = line.substr(dashes + 4);
+    std::istringstream head(line.substr(0, dashes));
+    std::string sym;
+    if (!(head >> e.rule >> e.file_suffix)) {
+      throw std::runtime_error("baseline " + p.string() + ":" + std::to_string(lineno) +
+                               ": expected `<rule> <file-suffix> [<symbol>] -- <reason>`");
+    }
+    if (head >> sym) e.symbol = sym;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool baseline_matches(BaselineEntry& e, const Finding& f) {
+  if (f.rule != e.rule || !ends_with(f.file, e.file_suffix)) return false;
+  if (!e.symbol.empty() && f.symbol != e.symbol) return false;
+  e.used = true;
+  return true;
+}
+
+// ---------------------------------------------------------------- reporting
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(const std::vector<Finding>& findings) {
+  std::cout << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "  {\"file\": \"" << json_escape(f.file) << "\", \"line\": " << f.line
+              << ", \"rule\": \"" << json_escape(f.rule) << "\", \"symbol\": \""
+              << json_escape(f.symbol) << "\", \"message\": \"" << json_escape(f.message)
+              << "\"}";
+  }
+  std::cout << (findings.empty() ? "]\n" : "\n]\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> only_rules;
   std::vector<fs::path> roots;
+  bool json = false;
+  fs::path baseline_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,12 +169,20 @@ int main(int argc, char** argv) {
       for (const auto& r : rule_catalogue()) std::cout << r.id << ": " << r.summary << "\n";
       return 0;
     }
-    if (arg == "--rule") {
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--rule" || arg == "--baseline") {
       if (i + 1 >= argc) {
-        std::cerr << "mbtls-lint: --rule needs an argument\n";
+        std::cerr << "mbtls-lint: " << arg << " needs an argument\n";
         return 2;
       }
-      only_rules.emplace_back(argv[++i]);
+      if (arg == "--rule") {
+        only_rules.emplace_back(argv[++i]);
+      } else {
+        baseline_path = argv[++i];
+      }
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -110,15 +214,44 @@ int main(int argc, char** argv) {
     // always see forward slashes.
     for (const auto& p : paths) files.push_back(lex(p.generic_string(), read_file(p)));
 
-    const std::vector<Finding> findings = run_rules(files, only_rules);
-    for (const auto& f : findings)
-      std::cout << f.file << ":" << f.line << ": " << f.rule << ": " << f.message << "\n";
-    if (!findings.empty()) {
-      std::cerr << "mbtls-lint: " << findings.size() << " violation"
-                << (findings.size() == 1 ? "" : "s") << " in " << files.size() << " files\n";
-      return 1;
+    const std::vector<Finding> all = run_rules(files, only_rules);
+
+    std::vector<BaselineEntry> baseline;
+    if (!baseline_path.empty()) baseline = load_baseline(baseline_path);
+    std::vector<Finding> findings;
+    std::size_t suppressed = 0;
+    for (const auto& f : all) {
+      bool matched = false;
+      for (auto& e : baseline) matched = baseline_matches(e, f) || matched;
+      if (matched) {
+        ++suppressed;
+      } else {
+        findings.push_back(f);
+      }
     }
-    return 0;
+    for (const auto& e : baseline) {
+      if (!e.used) {
+        std::cerr << "mbtls-lint: baseline:" << e.line << ": unused entry `" << e.rule << " "
+                  << e.file_suffix << "` — remove it, the finding is gone\n";
+      }
+    }
+
+    if (json) {
+      print_json(findings);
+    } else {
+      for (const auto& f : findings)
+        std::cout << f.file << ":" << f.line << ": " << f.rule << ": " << f.message << "\n";
+    }
+    if (!findings.empty() || suppressed > 0) {
+      std::map<std::string, int> per_rule;
+      for (const auto& f : findings) ++per_rule[f.rule];
+      std::cerr << "mbtls-lint: " << findings.size() << " violation"
+                << (findings.size() == 1 ? "" : "s") << " in " << files.size() << " files";
+      if (suppressed > 0) std::cerr << " (" << suppressed << " baselined)";
+      std::cerr << "\n";
+      for (const auto& [rule, n] : per_rule) std::cerr << "  " << rule << ": " << n << "\n";
+    }
+    return findings.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "mbtls-lint: " << e.what() << "\n";
     return 2;

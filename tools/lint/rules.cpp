@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "dataflow.h"
+
 namespace mbtls::lint {
 
 namespace {
@@ -103,7 +105,7 @@ std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
 }
 
 bool allowed(const LexedFile& f, int line, const std::string& rule) {
-  return f.has_annotation(line, "allow-" + rule);
+  return rule_allowed(f, line, rule);
 }
 
 // ------------------------------------------------------- rule: secret-compare
@@ -401,96 +403,6 @@ void rule_nondet_test(const LexedFile& f, std::vector<Finding>& out) {
   }
 }
 
-// ------------------------------------------------------ rule: trace-no-secret
-
-const char* kTraceNoSecret = "trace-no-secret";
-
-/// Trace sinks must never receive key material. Any secret-named identifier
-/// inside the argument list of an emitter call (`x.instant(...)`,
-/// `x.begin(...)`, `x.end(...)`, `x.counter(...)`) is flagged unless it is
-/// wrapped in key_fingerprint(...), which logs a truncated digest instead of
-/// the secret itself.
-void rule_trace_no_secret(const LexedFile& f, std::vector<Finding>& out) {
-  const auto& toks = f.tokens;
-  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokenKind::kIdentifier) continue;
-    if (t.text != "instant" && t.text != "begin" && t.text != "end" &&
-        t.text != "counter") {
-      continue;
-    }
-    if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) continue;
-    if (!is_punct(toks[i + 1], "(")) continue;
-    const std::size_t close = match_paren(toks, i + 1);
-    if (!allowed(f, t.line, kTraceNoSecret)) {
-      for (std::size_t j = i + 2; j < close; ++j) {
-        // key_fingerprint(...) is the sanctioned way to mention a key in a
-        // trace event — skip over its whole argument span.
-        if (toks[j].kind == TokenKind::kIdentifier && toks[j].text == "key_fingerprint" &&
-            j + 1 < close && is_punct(toks[j + 1], "(")) {
-          j = match_paren(toks, j + 1);
-          continue;
-        }
-        if (toks[j].kind == TokenKind::kIdentifier && is_secret_name(toks[j].text) &&
-            !allowed(f, toks[j].line, kTraceNoSecret)) {
-          out.push_back({f.path, toks[j].line, kTraceNoSecret,
-                         "secret '" + toks[j].text +
-                             "' passed to a trace emitter; trace key_fingerprint(" +
-                             toks[j].text + ") instead"});
-        }
-      }
-    }
-    i = close;
-  }
-}
-
-// ------------------------------------------------------ rule: queue-no-secret
-
-const char* kQueueNoSecret = "queue-no-secret";
-
-/// The multi-core data plane's threading contract (util/workpool.h): key
-/// material must never cross a worker queue — workers hold their sessions'
-/// keys; only sealed record bytes travel. Any secret-named identifier inside
-/// the argument list of a queue-submission member call (`x.post(...)`,
-/// `x.try_post(...)`, `x.submit(...)`, `x.enqueue(...)`) is flagged unless
-/// it is wrapped in seal(...) — a sealed record is ciphertext, which is
-/// exactly what the queue is for.
-void rule_queue_no_secret(const LexedFile& f, std::vector<Finding>& out) {
-  if (!in_src(f.path)) return;
-  const auto& toks = f.tokens;
-  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokenKind::kIdentifier) continue;
-    if (t.text != "post" && t.text != "try_post" && t.text != "submit" &&
-        t.text != "enqueue") {
-      continue;
-    }
-    if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) continue;
-    if (!is_punct(toks[i + 1], "(")) continue;
-    const std::size_t close = match_paren(toks, i + 1);
-    if (!allowed(f, t.line, kQueueNoSecret)) {
-      for (std::size_t j = i + 2; j < close; ++j) {
-        // seal(...)/seal_into(...) turn a secret payload into ciphertext
-        // before it reaches the queue — skip over the whole argument span.
-        if (toks[j].kind == TokenKind::kIdentifier &&
-            (toks[j].text == "seal" || toks[j].text == "seal_into") && j + 1 < close &&
-            is_punct(toks[j + 1], "(")) {
-          j = match_paren(toks, j + 1);
-          continue;
-        }
-        if (toks[j].kind == TokenKind::kIdentifier && is_secret_name(toks[j].text) &&
-            !allowed(f, toks[j].line, kQueueNoSecret)) {
-          out.push_back({f.path, toks[j].line, kQueueNoSecret,
-                         "secret '" + toks[j].text +
-                             "' posted onto a worker queue; only sealed records may cross "
-                             "the data-plane queue (see util/workpool.h)"});
-        }
-      }
-    }
-    i = close;
-  }
-}
-
 }  // namespace
 
 bool is_secret_name(const std::string& identifier) {
@@ -501,6 +413,11 @@ bool is_secret_name(const std::string& identifier) {
     if (public_segments().count(s)) return false;
   }
   return secret;
+}
+
+bool rule_allowed(const LexedFile& f, int line, const std::string& rule) {
+  return f.has_annotation(line, "allow-" + rule) ||
+         f.has_annotation(line, "ok(" + rule + ")");
 }
 
 const std::vector<RuleInfo>& rule_catalogue() {
@@ -515,12 +432,35 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "every Reader/Parser decode path ends in expect_end() or `// lint: partial-read`"},
       {"nondet-test", "tests must be deterministic: no srand/rand/random_device/wall-clock seeds"},
       {"trace-no-secret",
-       "trace emitters never receive key material: wrap keys in key_fingerprint()"},
+       "trace emitters never receive key material (dataflow: direct secret names keep this id); "
+       "wrap keys in key_fingerprint()"},
       {"queue-no-secret",
-       "worker queues never receive key material: only sealed records cross the data plane"},
+       "worker queues never receive key material (dataflow: direct secret names keep this id); "
+       "only sealed records cross the data plane"},
+      {"secret-escape",
+       "taint from a secret source reaching a trace/queue/long-lived-container sink through any "
+       "chain of assignments or call returns (interprocedural, via summaries)"},
+      {"wipe-all-paths",
+       "every normal CFG exit of a function holding a secret-named owning local must reach "
+       "secure_wipe() or transfer ownership out (path-sensitive; catches early-return leaks)"},
+      {"dangling-span",
+       "views into reusable scratch buffers must not escape to members/containers/returns or "
+       "be used after the scratch is recycled (take_raw_into/clear/resize)"},
   };
   return kRules;
 }
+
+namespace {
+
+/// The dataflow rule families whose findings only apply to production code
+/// under src/ (tests churn short-lived key material by design; the legacy
+/// trace rule stays repo-wide, matching its token-rule ancestor).
+bool dataflow_rule_src_only(const std::string& rule) {
+  return rule == "queue-no-secret" || rule == "secret-escape" ||
+         rule == "wipe-all-paths" || rule == "dangling-span";
+}
+
+}  // namespace
 
 std::vector<Finding> run_rules(const std::vector<LexedFile>& files,
                                const std::vector<std::string>& only_rules) {
@@ -530,10 +470,18 @@ std::vector<Finding> run_rules(const std::vector<LexedFile>& files,
     rule_banned_fn(f, out);
     rule_partial_read(f, out);
     rule_nondet_test(f, out);
-    rule_trace_no_secret(f, out);
-    rule_queue_no_secret(f, out);
   }
   rule_secret_wipe(files, out);
+
+  // Layer 2: CFG + taint dataflow with interprocedural summaries.
+  const std::vector<AnalyzedFile> analyzed = analyze_files(files);
+  const Summaries summaries = compute_summaries(analyzed);
+  std::vector<Finding> flow;
+  for (const auto& af : analyzed) run_dataflow_rules(af, summaries, flow);
+  for (auto& f : flow) {
+    if (dataflow_rule_src_only(f.rule) && !in_src(f.file)) continue;
+    out.push_back(std::move(f));
+  }
 
   if (!only_rules.empty()) {
     const std::set<std::string> keep(only_rules.begin(), only_rules.end());

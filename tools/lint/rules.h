@@ -18,6 +18,16 @@ struct Finding {
   int line = 0;
   std::string rule;
   std::string message;
+  std::string symbol;  // enclosing function for dataflow findings ("" for token rules)
+
+  Finding() = default;
+  Finding(std::string file_, int line_, std::string rule_, std::string message_,
+          std::string symbol_ = "")
+      : file(std::move(file_)),
+        line(line_),
+        rule(std::move(rule_)),
+        message(std::move(message_)),
+        symbol(std::move(symbol_)) {}
 
   bool operator<(const Finding& o) const {
     if (file != o.file) return file < o.file;
@@ -47,5 +57,10 @@ std::vector<Finding> run_rules(const std::vector<LexedFile>& files,
 /// True if `identifier` names likely secret material (key/secret/ikm/...),
 /// exposed for unit testing.
 bool is_secret_name(const std::string& identifier);
+
+/// True if line carries `// lint: allow-<rule>` or `// lint: ok(<rule>)` —
+/// the two suppression spellings (ok() is the reviewed-burn-down form and
+/// should carry a justification in the rest of the comment).
+bool rule_allowed(const LexedFile& f, int line, const std::string& rule);
 
 }  // namespace mbtls::lint
