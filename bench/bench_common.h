@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/backend.h"
 #include "x509/certificate.h"
 
 namespace mbtls::bench {
@@ -190,5 +191,15 @@ class Json {
   bool first_ = true;
   std::string text_;
 };
+
+/// Stamps the resolved crypto backend and the host's CPU feature set into a
+/// JSON document. Every BENCH_*.json carries these fields so a committed
+/// baseline records which backend produced it — numbers from a forced-scalar
+/// run and an AES-NI run are not comparable, and scripts/bench.sh surfaces
+/// the fields when refreshing baselines.
+inline Json& add_backend_fields(Json& doc) {
+  return doc.add("backend", std::string(crypto::active_backend_name()))
+      .add("cpu_features", crypto::cpu_feature_string());
+}
 
 }  // namespace mbtls::bench

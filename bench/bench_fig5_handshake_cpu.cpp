@@ -298,10 +298,10 @@ int main(int argc, char** argv) {
       "mbTLS than split TLS (one handshake, not two); server cost flat vs client-side\n"
       "middleboxes, + ~one client-handshake (~20%%) per server-side middlebox.\n");
   if (!json_path.empty()) {
-    const Json doc = Json::object()
-                         .add("bench", std::string("fig5_handshake_cpu"))
-                         .add("trials", static_cast<double>(trials))
-                         .add("rows", rows);
+    Json doc = Json::object()
+                   .add("bench", std::string("fig5_handshake_cpu"))
+                   .add("trials", static_cast<double>(trials));
+    add_backend_fields(doc).add("rows", rows);
     if (!doc.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

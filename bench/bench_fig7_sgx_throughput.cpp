@@ -288,15 +288,14 @@ int scaling_main(int argc, char** argv) {
             .add("enclave_gap_closed_512b", gap_closed)
             .add("records_per_session", static_cast<double>(records))
             .add("sessions", 8.0);
-    const Json doc =
+    Json doc =
         Json::object()
             .add("bench", std::string("fig7_scaling"))
             .add("throughput_model",
                  std::string("capacity: total bits / busiest worker's CPU time "
                              "(CLOCK_THREAD_CPUTIME_ID around handler execution; "
-                             "scheduling-independent). wall_gbps recorded alongside."))
-            .add("rows", rows)
-            .add("summary", summary);
+                             "scheduling-independent). wall_gbps recorded alongside."));
+    add_backend_fields(doc).add("rows", rows).add("summary", summary);
     if (!doc.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
@@ -355,8 +354,8 @@ int main(int argc, char** argv) {
       "encryption mode; the encryption rows plateau at the AES-GCM compute bound while\n"
       "the forwarding rows keep scaling with buffer size.\n");
   if (!json_path.empty()) {
-    const Json doc =
-        Json::object().add("bench", std::string("fig7_sgx_throughput")).add("rows", rows);
+    Json doc = Json::object().add("bench", std::string("fig7_sgx_throughput"));
+    add_backend_fields(doc).add("rows", rows);
     if (!doc.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

@@ -21,6 +21,7 @@
 
 #include "bench/bench_common.h"
 #include "bignum/bignum.h"
+#include "crypto/backend.h"
 #include "crypto/drbg.h"
 #include "crypto/gcm.h"
 #include "ec/p256.h"
@@ -86,7 +87,27 @@ void p256_metrics(std::vector<Metric>& out) {
   out.push_back(ma);
 }
 
+/// Forces a crypto backend for the enclosing scope (bench-local copy of the
+/// test guard; backend choice is captured per AesGcm at construction).
+class BackendGuard {
+ public:
+  explicit BackendGuard(crypto::Backend b) : saved_(crypto::active_backend()) {
+    crypto::force_backend_for_testing(b);
+  }
+  ~BackendGuard() { crypto::force_backend_for_testing(saved_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  crypto::Backend saved_;
+};
+
 void gcm_metrics(std::vector<Metric>& out) {
+  // The committed aes_gcm_* floors predate the dispatch layer: they gauge
+  // the scalar fast path (4-block CTR + table GHASH) against the bit-serial
+  // reference. Pin the scalar backend here so those numbers keep meaning the
+  // same thing on AES-NI hosts; gcm_accel_metrics covers the new backend.
+  BackendGuard guard(crypto::Backend::kScalar);
   crypto::Drbg rng_local("bench-micro-gcm", 2);
   const crypto::AesGcm aead(rng_local.bytes(32));
   const Bytes iv = rng_local.bytes(12);
@@ -113,6 +134,51 @@ void gcm_metrics(std::vector<Metric>& out) {
       });
       const double ro_us = us_per_op([&] {
         if (!aead.open_reference(iv, aad, sealed)) std::abort();
+      });
+      open.fast = static_cast<double>(size) / fo_us;
+      open.reference = static_cast<double>(size) / ro_us;
+      open.speedup = open.fast / open.reference;
+      out.push_back(open);
+    }
+  }
+}
+
+/// AES-NI/PCLMUL backend vs the *scalar fast path* (not the bit-serial
+/// reference): `fast` is an AesGcm built under the resolved accelerated
+/// backend, `reference` the same key forced scalar. Only emitted when the
+/// active backend is aesni — on other hosts (or under
+/// MBTLS_CRYPTO_BACKEND=scalar) the metrics and their floor are absent.
+void gcm_accel_metrics(std::vector<Metric>& out) {
+  if (crypto::active_backend() != crypto::Backend::kAesni) return;
+  crypto::Drbg rng_local("bench-micro-gcm-accel", 6);
+  const Bytes key = rng_local.bytes(32);
+  const Bytes iv = rng_local.bytes(12);
+  const Bytes aad = rng_local.bytes(13);
+  const crypto::AesGcm accel(key);
+  BackendGuard guard(crypto::Backend::kScalar);
+  const crypto::AesGcm scalar(key);
+
+  for (const std::size_t size : {std::size_t{1500}, std::size_t{8192}}) {
+    const Bytes plaintext = rng_local.bytes(size);
+    Bytes scratch(size + crypto::AesGcm::kTagSize);
+
+    Metric seal{"aes_gcm_seal_" + std::to_string(size) + "_aesni", "mb_per_s", 0, 0, 0};
+    const double fast_us = us_per_op([&] { accel.seal_into(iv, aad, plaintext, scratch); });
+    const double ref_us = us_per_op([&] { scalar.seal_into(iv, aad, plaintext, scratch); });
+    seal.fast = static_cast<double>(size) / fast_us;
+    seal.reference = static_cast<double>(size) / ref_us;
+    seal.speedup = seal.fast / seal.reference;
+    out.push_back(seal);
+
+    if (size == 8192) {
+      const Bytes sealed = accel.seal(iv, aad, plaintext);
+      Bytes open_scratch(size);
+      Metric open{"aes_gcm_open_" + std::to_string(size) + "_aesni", "mb_per_s", 0, 0, 0};
+      const double fo_us = us_per_op([&] {
+        if (!accel.open_into(iv, aad, sealed, open_scratch)) std::abort();
+      });
+      const double ro_us = us_per_op([&] {
+        if (!scalar.open_into(iv, aad, sealed, open_scratch)) std::abort();
       });
       open.fast = static_cast<double>(size) / fo_us;
       open.reference = static_cast<double>(size) / ro_us;
@@ -207,9 +273,12 @@ int main(int argc, char** argv) {
   const std::string json_path = json_arg(argc, argv);
 
   std::printf("=== Microcrypto: fast vs reference (budget %.2fs per primitive) ===\n", g_budget);
+  std::printf("crypto backend: %s (features: %s)\n", mbtls::crypto::active_backend_name(),
+              mbtls::crypto::cpu_feature_string().c_str());
   std::vector<Metric> metrics;
   p256_metrics(metrics);
   gcm_metrics(metrics);
+  gcm_accel_metrics(metrics);
   mod_exp_metric(metrics);
   record_metric(metrics);
   record_trace_metric(metrics);
@@ -231,7 +300,8 @@ int main(int argc, char** argv) {
                     .add("reference", m.reference)
                     .add("speedup", m.speedup));
     }
-    const Json doc = Json::object().add("bench", std::string("microcrypto")).add("metrics", rows);
+    Json doc = Json::object().add("bench", std::string("microcrypto"));
+    add_backend_fields(doc).add("metrics", rows);
     if (!doc.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
@@ -263,6 +333,14 @@ int main(int argc, char** argv) {
     // unconditional argument render would cut this far below it.
     if (m.name == "record_seal_trace_off_8192" && m.speedup < 0.7) {
       std::fprintf(stderr, "FAIL: record_seal_trace_off_8192 ratio %.2fx < 0.7x\n", m.speedup);
+      return 1;
+    }
+    // Accelerated-backend floor (only present when the aesni backend
+    // resolved): AES-NI + PCLMUL must beat the scalar fast path 3x at 8 KB.
+    // In practice it lands far higher; 3x catches a dispatch regression
+    // (e.g. the per-object capture silently resolving scalar).
+    if (m.name == "aes_gcm_seal_8192_aesni" && m.speedup < 3.0) {
+      std::fprintf(stderr, "FAIL: aes_gcm_seal_8192_aesni speedup %.2fx < 3x\n", m.speedup);
       return 1;
     }
   }

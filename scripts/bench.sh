@@ -7,11 +7,17 @@
 #                                    #            BENCH_fig7.json in repo root
 #   scripts/bench.sh --quick         # tiny budgets (CI / smoke)
 #   scripts/bench.sh --out DIR       # write the JSON files elsewhere
+#   scripts/bench.sh --backend B     # pin the crypto backend (auto|scalar|aesni)
+#                                    # via MBTLS_CRYPTO_BACKEND for every binary
 #
 # bench_microcrypto additionally enforces the fast-vs-reference speedup
-# floors (p256 mul_base >= 3x, AES-GCM seal >= 1.5x), so a perf regression
-# fails this script. The JSON files in the repo root are the committed
-# baseline; re-run this script and commit the diff when the crypto changes.
+# floors (p256 mul_base >= 3x, AES-GCM seal >= 1.5x, and — when the aesni
+# backend resolves — AES-NI seal >= 3x over the scalar fast path), so a perf
+# regression fails this script. The JSON files in the repo root are the
+# committed baseline; re-run this script and commit the diff when the crypto
+# changes. Every JSON records the backend + CPU features that produced it,
+# so a baseline refreshed under --backend scalar is distinguishable from an
+# AES-NI one.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,14 +25,20 @@ cd "$repo_root"
 
 out_dir="$repo_root"
 quick=0
+backend=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1; shift ;;
     --out) out_dir="$2"; shift 2 ;;
-    *) echo "usage: scripts/bench.sh [--quick] [--out DIR]" >&2; exit 2 ;;
+    --backend) backend="$2"; shift 2 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--out DIR] [--backend auto|scalar|aesni]" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$out_dir"
+if [[ -n "$backend" ]]; then
+  export MBTLS_CRYPTO_BACKEND="$backend"
+  echo "crypto backend pinned: MBTLS_CRYPTO_BACKEND=$backend"
+fi
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
@@ -67,3 +79,5 @@ echo "=== bench_fig7_sgx_throughput --scaling (multi-core data plane) ==="
 
 echo
 echo "wrote: $out_dir/BENCH_micro.json $out_dir/BENCH_fig5.json $out_dir/BENCH_fig7.json $out_dir/BENCH_fig7_scaling.json"
+grep -o '"backend":"[^"]*","cpu_features":"[^"]*"' "$out_dir/BENCH_micro.json" \
+  | sed 's/^/recorded /' || true

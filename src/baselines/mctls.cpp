@@ -2,6 +2,7 @@
 
 #include "crypto/hkdf.h"
 #include "crypto/hmac.h"
+#include "util/ct.h"
 
 namespace mbtls::baselines {
 
@@ -77,7 +78,7 @@ std::optional<McRecordLayer::Opened> McRecordLayer::open(ByteView record) {
   out.verdict = McVerdict::kUntouched;
   if (!keys_.writer_mac.empty()) {
     const Bytes expected_writer = mac_over(keys_.writer_mac, open_seq_, out.payload);
-    if (!constant_time_equal(expected_writer, writer_tag)) {
+    if (!ct::equal(expected_writer, writer_tag)) {
       out.verdict = McVerdict::kIllegallyModified;
       ++open_seq_;
       return out;
@@ -85,7 +86,7 @@ std::optional<McRecordLayer::Opened> McRecordLayer::open(ByteView record) {
   }
   if (!keys_.endpoint_mac.empty()) {
     const Bytes expected_endpoint = mac_over(keys_.endpoint_mac, open_seq_, out.payload);
-    if (!constant_time_equal(expected_endpoint, endpoint_tag)) {
+    if (!ct::equal(expected_endpoint, endpoint_tag)) {
       out.verdict = McVerdict::kModifiedByWriter;
     }
   }

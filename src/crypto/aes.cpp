@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "crypto/backend.h"
+
 namespace mbtls::crypto {
 
 namespace {
@@ -105,6 +107,14 @@ Aes::Aes(ByteView key) : key_size_(key.size()) {
     case 32: nk = 8; rounds_ = 14; break;
     default: throw std::invalid_argument("AES key must be 16/24/32 bytes");
   }
+  accel_ = aesni_available() && active_backend() == Backend::kAesni;
+  if (accel_ && key.size() != 24) {
+    // AESKEYGENASSIST schedule; byte-identical to the scalar expansion below
+    // (diff-tested). 192-bit keys stay on the scalar path -- GCM never uses
+    // them and the intrinsic recurrence for nk=6 straddles register halves.
+    accel::aes_key_expand(key.data(), key.size(), round_keys_.data());
+    return;
+  }
   const int total_words = 4 * (rounds_ + 1);
   // Key expansion (FIPS 197 §5.2), word-oriented over the byte array.
   std::memcpy(round_keys_.data(), key.data(), key.size());
@@ -131,6 +141,10 @@ Aes::Aes(ByteView key) : key_size_(key.size()) {
 }
 
 void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  if (accel_) {
+    accel::aes_encrypt_block(round_keys_.data(), rounds_, in, out);
+    return;
+  }
   // T-table implementation: each round is 16 table lookups + XORs. State is
   // held as four little-endian 32-bit columns (byte r of column c at bits
   // 8r of word c), matching the byte-array layout s[4c + r].
@@ -172,6 +186,10 @@ void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
 }
 
 void Aes::encrypt4(const std::uint8_t in[64], std::uint8_t out[64]) const {
+  if (accel_) {
+    accel::aes_encrypt4(round_keys_.data(), rounds_, in, out);
+    return;
+  }
   // Four T-table states advanced in lockstep. A single block's round has a
   // serial dependency chain of table lookups; interleaving four independent
   // blocks lets the loads overlap, which is where the CTR keystream speedup

@@ -37,10 +37,20 @@ class Aes {
 
   std::size_t key_size() const { return key_size_; }
 
+  /// True when this instance encrypts via the AES-NI backend (captured from
+  /// active_backend() at construction; see crypto/backend.h).
+  bool accelerated() const { return accel_; }
+
  private:
+  // AesGcm reads the raw schedule + accel flag to drive the fused CTR path.
+  friend class AesGcm;
+
   std::size_t key_size_;
   int rounds_;
+  bool accel_ = false;
   // Round keys stored as bytes, 16 per round (+1 for the initial AddRoundKey).
+  // The AES-NI backend loads these exact bytes — both key expansions produce
+  // the byte-identical FIPS-197 schedule.
   std::array<std::uint8_t, 16 * 15> round_keys_{};  // lint: secret
 };
 

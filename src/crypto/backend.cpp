@@ -1,0 +1,165 @@
+#include "crypto/backend.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define MBTLS_BACKEND_X86 1
+#endif
+
+namespace mbtls::crypto {
+
+namespace {
+
+CpuFeatures detect_cpu() {
+  CpuFeatures f;
+#ifdef MBTLS_BACKEND_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.pclmul = (ecx & (1u << 1)) != 0;
+    f.ssse3 = (ecx & (1u << 9)) != 0;
+    f.sse41 = (ecx & (1u << 19)) != 0;
+    f.aesni = (ecx & (1u << 25)) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx & (1u << 5)) != 0;
+    f.sha_ni = (ebx & (1u << 29)) != 0;
+  }
+#endif
+  return f;
+}
+
+constexpr bool aesni_compiled() {
+#ifdef MBTLS_HAVE_AESNI_BUILD
+  return true;
+#else
+  return false;
+#endif
+}
+
+constexpr bool sha_ni_compiled() {
+#ifdef MBTLS_HAVE_SHANI_BUILD
+  return true;
+#else
+  return false;
+#endif
+}
+
+Backend resolve_from_env() {
+  const char* env = std::getenv("MBTLS_CRYPTO_BACKEND");
+  const std::string v = env ? env : "auto";
+  if (v == "scalar") return Backend::kScalar;
+  if (v == "aesni") {
+    if (aesni_available()) return Backend::kAesni;
+    std::fprintf(stderr,
+                 "mbtls: MBTLS_CRYPTO_BACKEND=aesni but the AES-NI backend is "
+                 "unavailable (compiled=%d, cpu aes=%d pclmul=%d); using scalar\n",
+                 aesni_compiled() ? 1 : 0, cpu_features().aesni ? 1 : 0,
+                 cpu_features().pclmul ? 1 : 0);
+    return Backend::kScalar;
+  }
+  if (v != "auto" && !v.empty())
+    std::fprintf(stderr, "mbtls: unknown MBTLS_CRYPTO_BACKEND '%s'; using auto\n", v.c_str());
+  return aesni_available() ? Backend::kAesni : Backend::kScalar;
+}
+
+// -1 = no override; otherwise a Backend value forced by tests/benches.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect_cpu();
+  return f;
+}
+
+bool aesni_available() {
+  const CpuFeatures& f = cpu_features();
+  return aesni_compiled() && f.aesni && f.pclmul && f.ssse3 && f.sse41;
+}
+
+bool sha_ni_available() {
+  const CpuFeatures& f = cpu_features();
+  return sha_ni_compiled() && f.sha_ni && f.ssse3 && f.sse41;
+}
+
+Backend active_backend() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Backend>(forced);
+  static const Backend resolved = resolve_from_env();
+  return resolved;
+}
+
+void force_backend_for_testing(Backend b) {
+  if (b == Backend::kAesni && !aesni_available()) b = Backend::kScalar;
+  g_forced.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAesni: return "aesni";
+  }
+  return "unknown";
+}
+
+const char* active_backend_name() { return backend_name(active_backend()); }
+
+std::string cpu_feature_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string out;
+  auto add = [&](bool present, const char* name) {
+    if (!present) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  add(f.aesni, "aesni");
+  add(f.pclmul, "pclmul");
+  add(f.ssse3, "ssse3");
+  add(f.sse41, "sse4.1");
+  add(f.sha_ni, "sha_ni");
+  add(f.avx2, "avx2");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+// Link-time stubs for builds whose toolchain cannot compile the intrinsics.
+// aesni_available()/sha_ni_available() are false in those builds, so reaching
+// one of these means a caller skipped the gate — fail loudly.
+#ifndef MBTLS_HAVE_AESNI_BUILD
+namespace accel {
+
+namespace {
+[[noreturn]] void missing() {
+  std::fprintf(stderr, "mbtls: accelerated crypto called but not compiled in\n");
+  std::abort();
+}
+}  // namespace
+
+void aes_key_expand(const std::uint8_t*, std::size_t, std::uint8_t*) { missing(); }
+void aes_encrypt_block(const std::uint8_t*, int, const std::uint8_t*, std::uint8_t*) { missing(); }
+void aes_encrypt4(const std::uint8_t*, int, const std::uint8_t*, std::uint8_t*) { missing(); }
+void aes_ctr_xor(const std::uint8_t*, int, const std::uint8_t*, const std::uint8_t*, std::size_t,
+                 std::uint8_t*) {
+  missing();
+}
+void ghash_init(const std::uint8_t*, std::uint8_t*) { missing(); }
+void ghash(const std::uint8_t*, ByteView, ByteView, std::uint8_t*) { missing(); }
+
+}  // namespace accel
+#endif  // !MBTLS_HAVE_AESNI_BUILD
+
+#ifndef MBTLS_HAVE_SHANI_BUILD
+namespace accel {
+
+void sha256_compress(std::uint32_t*, const std::uint8_t*, std::size_t) {
+  std::fprintf(stderr, "mbtls: SHA-NI path called but not compiled in\n");
+  std::abort();
+}
+
+}  // namespace accel
+#endif  // !MBTLS_HAVE_SHANI_BUILD
+
+}  // namespace mbtls::crypto

@@ -3,6 +3,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "crypto/backend.h"
+#include "util/ct.h"
+
 namespace mbtls::crypto {
 
 namespace {
@@ -67,6 +70,11 @@ AesGcm::AesGcm(ByteView key) : aes_(key) {
   aes_.encrypt_block(zero, h);
   h_.hi = load_be64(h);
   h_.lo = load_be64(h + 8);
+  // The backend is captured per object (aes_ captured the same value in the
+  // same construction), so a force_backend_for_testing() switch affects
+  // contexts built afterwards -- live sessions never change backend mid-key.
+  accel_ = aes_.accelerated();
+  if (accel_) accel::ghash_init(h, h_powers_.data());
   // m_table_[b] = X_b * H where X_b has byte value b in the most significant
   // byte. Built with the (slow) bit-serial multiply; used on every block.
   for (int b = 0; b < 256; ++b) {
@@ -84,6 +92,11 @@ AesGcm::AesGcm(ByteView key) : aes_(key) {
 }
 
 AesGcm::Block AesGcm::ghash(ByteView aad, ByteView ciphertext) const {
+  if (accel_) {
+    std::uint8_t s[16];
+    accel::ghash(h_powers_.data(), aad, ciphertext, s);
+    return Block{load_be64(s), load_be64(s + 8)};
+  }
   // Table-driven multiply: Z = Y * H computed byte-by-byte (Horner over the
   // bytes of Y, least significant byte first; each step shifts by x^8 and
   // adds byte * H from the per-key table).
@@ -169,6 +182,10 @@ AesGcm::Block AesGcm::ghash_reference(ByteView aad, ByteView ciphertext) const {
 }
 
 void AesGcm::ctr_xor(const std::uint8_t j0[16], ByteView in, std::uint8_t* out) const {
+  if (accel_) {
+    accel::aes_ctr_xor(aes_.round_keys_.data(), aes_.rounds_, j0, in.data(), in.size(), out);
+    return;
+  }
   std::uint32_t ctr = load_be32(j0 + 12);
   const std::uint8_t* src = in.data();
   std::size_t len = in.size();
@@ -268,7 +285,7 @@ bool AesGcm::open_into(ByteView iv, ByteView aad, ByteView ciphertext_and_tag,
 #endif
   std::uint8_t expected[16];
   compute_tag(j0, s, expected);
-  if (!constant_time_equal(ByteView(expected, 16), tag)) return false;
+  if (!ct::equal(ByteView(expected, 16), tag)) return false;
 
   // Authenticated: decrypt. When `out` aliases the ciphertext this overwrites
   // it in place — GHASH above already consumed every ciphertext byte.
@@ -314,7 +331,7 @@ std::optional<Bytes> AesGcm::open_reference(ByteView iv, ByteView aad,
   const Block s = ghash_reference(aad, ct);
   std::uint8_t expected[16];
   compute_tag(j0, s, expected);
-  if (!constant_time_equal(ByteView(expected, 16), tag)) return std::nullopt;
+  if (!ct::equal(ByteView(expected, 16), tag)) return std::nullopt;
   Bytes plaintext(ct_len);
   ctr_xor_reference(j0, ct, plaintext.data());
   return plaintext;

@@ -21,10 +21,11 @@ class AesGcm {
   /// Key must be 16 or 32 bytes (AES-128-GCM / AES-256-GCM).
   explicit AesGcm(ByteView key);
 
-  // The GHASH key and its expansion table are key-equivalent material.
+  // The GHASH key and its expansion tables are key-equivalent material.
   ~AesGcm() {
     secure_wipe_object(h_);
     secure_wipe_object(m_table_);
+    secure_wipe_object(h_powers_);
   }
   AesGcm(const AesGcm&) = default;
   AesGcm(AesGcm&&) = default;
@@ -79,6 +80,10 @@ class AesGcm {
   // built once per key. Reduces GHASH from 128 shift steps per block to 16
   // table lookups.
   std::array<Block, 256> m_table_;
+  // H^1..H^4 in the PCLMUL backend's bit-reflected form (crypto/backend.h);
+  // filled only when the AES-NI backend is active at construction.
+  std::array<std::uint8_t, 64> h_powers_{};  // lint: secret
+  bool accel_ = false;
 };
 
 }  // namespace mbtls::crypto

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "crypto/backend.h"
+
 namespace mbtls::crypto {
 
 namespace {
@@ -126,10 +128,12 @@ void compress512(std::array<std::uint64_t, 8>& h, const std::uint8_t* block) {
   h[7] += hh;
 }
 
-// Generic streaming update/finish shared by all three classes.
-template <typename State, typename Compress>
+// Generic streaming update/finish shared by all three classes. The callback
+// compresses `n` contiguous blocks so an accelerated backend can absorb a
+// whole message run in one call instead of block-at-a-time.
+template <typename State, typename CompressMany>
 void generic_update(State& buf, std::size_t& buf_len, std::uint64_t& total, std::size_t block_size,
-                    Compress compress, ByteView data) {
+                    CompressMany compress_many, ByteView data) {
   total += data.size();
   // An empty view may carry data() == nullptr, and memcpy(dst, nullptr, 0)
   // is still undefined behaviour.
@@ -141,18 +145,26 @@ void generic_update(State& buf, std::size_t& buf_len, std::uint64_t& total, std:
     buf_len += take;
     off += take;
     if (buf_len == block_size) {
-      compress(buf.data());
+      compress_many(buf.data(), 1);
       buf_len = 0;
     }
   }
-  while (data.size() - off >= block_size) {
-    compress(data.data() + off);
-    off += block_size;
+  const std::size_t nblocks = (data.size() - off) / block_size;
+  if (nblocks > 0) {
+    compress_many(data.data() + off, nblocks);
+    off += nblocks * block_size;
   }
   if (off < data.size()) {
     std::memcpy(buf.data(), data.data() + off, data.size() - off);
     buf_len = data.size() - off;
   }
+}
+
+/// SHA-256 dispatch decision, queried per compress run (an atomic load plus
+/// two cached bools — noise next to a 64-round compression). Hash objects are
+/// short-lived, so there is no per-object capture to keep consistent.
+bool sha256_accel() {
+  return sha_ni_available() && active_backend() == Backend::kAesni;
 }
 
 }  // namespace
@@ -163,11 +175,19 @@ Sha256::Sha256()
     : h_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
          0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
-void Sha256::compress(const std::uint8_t* block) { compress256(h_, block); }
+void Sha256::compress(const std::uint8_t* block) { compress_many(block, 1); }
+
+void Sha256::compress_many(const std::uint8_t* blocks, std::size_t n) {
+  if (sha256_accel()) {
+    accel::sha256_compress(h_.data(), blocks, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) compress256(h_, blocks + i * kBlockSize);
+}
 
 void Sha256::update(ByteView data) {
   generic_update(buf_, buf_len_, total_len_, kBlockSize,
-                 [this](const std::uint8_t* b) { compress(b); }, data);
+                 [this](const std::uint8_t* b, std::size_t n) { compress_many(b, n); }, data);
 }
 
 Bytes Sha256::finish() {
@@ -200,8 +220,12 @@ Sha384::Sha384()
 void Sha384::compress(const std::uint8_t* block) { compress512(h_, block); }
 
 void Sha384::update(ByteView data) {
-  generic_update(buf_, buf_len_, total_len_, kBlockSize,
-                 [this](const std::uint8_t* b) { compress(b); }, data);
+  generic_update(
+      buf_, buf_len_, total_len_, kBlockSize,
+      [this](const std::uint8_t* b, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) compress(b + i * kBlockSize);
+      },
+      data);
 }
 
 Bytes Sha384::finish() {
@@ -235,8 +259,12 @@ Sha512::Sha512()
 void Sha512::compress(const std::uint8_t* block) { compress512(h_, block); }
 
 void Sha512::update(ByteView data) {
-  generic_update(buf_, buf_len_, total_len_, kBlockSize,
-                 [this](const std::uint8_t* b) { compress(b); }, data);
+  generic_update(
+      buf_, buf_len_, total_len_, kBlockSize,
+      [this](const std::uint8_t* b, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) compress(b + i * kBlockSize);
+      },
+      data);
 }
 
 Bytes Sha512::finish() {

@@ -27,6 +27,9 @@ class Sha256 {
 
  private:
   void compress(const std::uint8_t* block);
+  /// Bulk path over `n` contiguous blocks; dispatches the whole run to the
+  /// SHA-NI backend in one call when it is active (crypto/backend.h).
+  void compress_many(const std::uint8_t* blocks, std::size_t n);
 
   std::array<std::uint32_t, 8> h_;
   std::array<std::uint8_t, kBlockSize> buf_;

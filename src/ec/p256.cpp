@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/ct.h"
+
 namespace mbtls::ec {
 
 using u64 = std::uint64_t;
@@ -59,28 +61,19 @@ inline int raw_cmp(const U256& a, const U256& b) {
 
 // ------------------------------------------------- constant-time primitives
 //
-// Branch-free mask arithmetic for secret-dependent selection. Every helper
-// returns / consumes an all-ones (0xff..ff) or all-zeros 64-bit mask so the
-// compiler emits plain ALU ops, never a conditional jump.
+// Thin U256 adapters over the shared branch-free mask arithmetic in
+// util/ct.h. Every helper returns / consumes an all-ones (0xff..ff) or
+// all-zeros 64-bit mask so the compiler emits plain ALU ops, never a
+// conditional jump.
 
 /// All-ones when a == b, all-zeros otherwise.
-inline u64 ct_eq_mask(u64 a, u64 b) {
-  const u64 x = a ^ b;
-  // top bit of (x | -x) is 1 iff x != 0; extend the complement to a mask.
-  const u64 nonzero_bit = (x | (~x + 1)) >> 63;
-  return nonzero_bit - 1;  // 0 -> 0xff..ff, 1 -> 0
-}
+inline u64 ct_eq_mask(u64 a, u64 b) { return ct::eq_mask(a, b); }
 
 /// All-ones when the 256-bit value is zero.
-inline u64 ct_u256_is_zero_mask(const U256& a) {
-  const u64 merged = a.w[0] | a.w[1] | a.w[2] | a.w[3];
-  return ct_eq_mask(merged, 0);
-}
+inline u64 ct_u256_is_zero_mask(const U256& a) { return ct::all_zero_mask(a.w.data(), 4); }
 
 /// r = mask ? a : r (mask must be all-ones or all-zeros).
-inline void ct_cmov(U256& r, const U256& a, u64 mask) {
-  for (int i = 0; i < 4; ++i) r.w[i] = (r.w[i] & ~mask) | (a.w[i] & mask);
-}
+inline void ct_cmov(U256& r, const U256& a, u64 mask) { ct::cmov(r.w.data(), a.w.data(), 4, mask); }
 
 /// Window i (bits [4i, 4i+4)) of a scalar.
 inline std::uint32_t window4(const U256& k, int i) {

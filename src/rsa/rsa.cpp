@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bignum/prime.h"
+#include "util/ct.h"
 
 namespace mbtls::rsa {
 
@@ -99,7 +100,7 @@ bool rsa_verify(const RsaPublicKey& key, crypto::HashAlgo algo, ByteView message
   } catch (const std::length_error&) {
     return false;
   }
-  return constant_time_equal(em, expected);
+  return ct::equal(em, expected);
 }
 
 Bytes rsa_encrypt(const RsaPublicKey& key, ByteView plaintext, crypto::Drbg& rng) {

@@ -3,6 +3,7 @@
 #include "crypto/gcm.h"
 #include "crypto/sha2.h"
 #include "ec/ecdh.h"
+#include "util/ct.h"
 #include "util/hex.h"
 #include "util/writer.h"
 
@@ -468,7 +469,7 @@ void Engine::handle_sgx_attestation(const HandshakeMsg& msg) {
   // ServerKeyExchange) — a replayed quote from another handshake fails here.
   Bytes expected_rd = attestation_binding_hash_;
   expected_rd.resize(64, 0);
-  if (!constant_time_equal(quote->report_data, expected_rd))
+  if (!ct::equal(quote->report_data, expected_rd))
     throw ProtocolError(AlertDescription::kDecryptError, "attestation not bound to handshake");
   if (!config_.expected_measurement.empty() &&
       !equal(quote->measurement, config_.expected_measurement))
@@ -719,7 +720,7 @@ void Engine::handle_finished(const HandshakeMsg& msg) {
   const Bytes expected = finished_verify_data(suite_->prf_hash, master_secret_,
                                               /*from_client=*/!config_.is_client,
                                               transcript_hash());
-  if (!constant_time_equal(expected, msg.body))
+  if (!ct::equal(expected, msg.body))
     throw ProtocolError(AlertDescription::kDecryptError, "Finished verify_data mismatch");
   append_transcript(msg.raw);
   peer_finished_seen_ = true;

@@ -30,13 +30,6 @@ bool equal(ByteView a, ByteView b) {
   return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
 }
 
-bool constant_time_equal(ByteView a, ByteView b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t diff = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
-  return diff == 0;
-}
-
 void xor_into(MutableByteView a, ByteView b) {
   if (a.size() != b.size()) throw std::invalid_argument("xor_into: length mismatch");
   for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];

@@ -1,8 +1,8 @@
 // Byte-buffer primitives shared by every module.
 //
 // `Bytes` is the canonical owning byte container; `ByteView` the canonical
-// non-owning view. Helpers here cover concatenation, comparison (including a
-// constant-time variant for secrets), and conversions to/from strings.
+// non-owning view. Helpers here cover concatenation, comparison, and
+// conversions to/from strings; constant-time comparison lives in util/ct.h.
 #pragma once
 
 #include <bit>
@@ -36,12 +36,9 @@ void append(Bytes& dst, ByteView src);
 /// Concatenate any number of views into a fresh buffer.
 Bytes concat(std::initializer_list<ByteView> parts);
 
-/// Ordinary (early-exit) equality. Do NOT use for secrets.
+/// Ordinary (early-exit) equality. Do NOT use for secrets; the constant-time
+/// variant lives in util/ct.h (ct::equal / constant_time_equal).
 bool equal(ByteView a, ByteView b);
-
-/// Constant-time equality for MACs, tags, and other secrets. Runs in time
-/// dependent only on the lengths of the inputs.
-bool constant_time_equal(ByteView a, ByteView b);
 
 /// XOR `b` into `a` (lengths must match).
 void xor_into(MutableByteView a, ByteView b);

@@ -1,0 +1,68 @@
+// Constant-time primitives shared by every module that touches secrets.
+//
+// Everything here runs in time dependent only on operand *lengths*, never on
+// operand *values*: branch-free masks for field arithmetic (src/ec, src/rsa),
+// branchless selection for window lookups, and the byte-string equality used
+// for MAC/tag verification in src/crypto and src/tls. Call sites must not
+// reimplement these locally — tools/mbtls-lint's secret-compare rule treats
+// `ct::equal` / `constant_time_equal` as the only sanctioned comparisons for
+// secret-named data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace mbtls::ct {
+
+/// All-ones if `x == 0`, else all-zeros. The classic (x | -x) trick: the top
+/// bit of `x | (~x + 1)` is set iff x is non-zero.
+inline std::uint64_t is_zero_mask(std::uint64_t x) {
+  const std::uint64_t nonzero_bit = (x | (~x + 1)) >> 63;
+  return nonzero_bit - 1;  // 1 -> 0x00..0, 0 -> 0xff..f
+}
+
+/// All-ones if `a == b`, else all-zeros.
+inline std::uint64_t eq_mask(std::uint64_t a, std::uint64_t b) {
+  return is_zero_mask(a ^ b);
+}
+
+/// All-ones if every word of `w[0..n)` is zero, else all-zeros.
+inline std::uint64_t all_zero_mask(const std::uint64_t* w, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= w[i];
+  return is_zero_mask(acc);
+}
+
+/// Branchless select: `a` where mask is all-ones, `b` where all-zeros.
+inline std::uint64_t select(std::uint64_t mask, std::uint64_t a, std::uint64_t b) {
+  return (a & mask) | (b & ~mask);
+}
+
+/// Conditional move over a word array: `r[i] = a[i]` where mask is all-ones.
+/// Always reads and writes every word.
+inline void cmov(std::uint64_t* r, const std::uint64_t* a, std::size_t n,
+                 std::uint64_t mask) {
+  for (std::size_t i = 0; i < n; ++i) r[i] = (r[i] & ~mask) | (a[i] & mask);
+}
+
+/// Constant-time byte-string equality for MACs, tags, and other secrets.
+/// Accumulates the XOR of every byte pair before deciding; only the lengths
+/// leak (they are public framing, not secret content).
+inline bool equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace mbtls::ct
+
+namespace mbtls {
+
+/// Historic spelling kept for call sites outside the crypto core; new code in
+/// secret-bearing directories should spell it ct::equal.
+inline bool constant_time_equal(ByteView a, ByteView b) { return ct::equal(a, b); }
+
+}  // namespace mbtls

@@ -22,6 +22,7 @@
 #include "crypto/gcm.h"
 #include "ec/p256.h"
 #include "util/bytes.h"
+#include "util/ct.h"
 
 namespace mbtls {
 namespace {

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include "bignum/bignum.h"
+#include "crypto/backend.h"
 #include "crypto/drbg.h"
 #include "crypto/gcm.h"
+#include "crypto/sha2.h"
 #include "ec/p256.h"
 #include "util/bytes.h"
 
@@ -177,6 +179,151 @@ TEST(CryptoDiff, GcmBothPathsRejectForgery) {
     EXPECT_FALSE(gcm.open_into(iv, aad, sealed, scratch)) << "flip=" << flip;
     sealed[flip] ^= 0x01;
   }
+}
+
+// ----------------------------------------------------- cross-backend GCM
+//
+// The runtime-dispatched backends (crypto/backend.h) must be byte-identical:
+// scalar vs. AES-NI/PCLMUL vs. the bit-serial reference oracle. Backend
+// choice is captured per object at construction, so each case constructs its
+// AesGcm under the forced backend. On hardware without AES-NI,
+// force_backend_for_testing clamps kAesni to kScalar and these cases
+// degenerate to scalar-vs-scalar (still a valid oracle check); the
+// accelerated arm is additionally exercised by the crypto_diff_force_aesni
+// ctest registration on capable machines.
+
+/// Forces a backend for the current scope, restoring the previous choice on
+/// exit (restoration matters: gtest shards share the process).
+class BackendGuard {
+ public:
+  explicit BackendGuard(crypto::Backend b) : saved_(crypto::active_backend()) {
+    crypto::force_backend_for_testing(b);
+  }
+  ~BackendGuard() { crypto::force_backend_for_testing(saved_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  crypto::Backend saved_;
+};
+
+/// Seals with an AesGcm constructed under `backend`; returns ct || tag.
+Bytes seal_with_backend(crypto::Backend backend, ByteView key, ByteView iv, ByteView aad,
+                        ByteView plaintext) {
+  BackendGuard guard(backend);
+  const crypto::AesGcm gcm(key);
+  return gcm.seal(iv, aad, plaintext);
+}
+
+TEST(CryptoDiff, GcmCrossBackendAllTailLengths) {
+  crypto::Drbg rng("diff-gcm-backend-tail", 20);
+  for (const std::size_t key_len : {std::size_t{16}, std::size_t{32}}) {
+    const Bytes key = rng.bytes(key_len);
+    // Every tail length 0..64 both on its own and appended to a full 8-block
+    // (128-byte) batch, so the AES-NI CTR main loop, its 16-byte tail loop,
+    // the partial-block path, and the 4-way aggregated GHASH all get hit.
+    for (std::size_t tail = 0; tail <= 64; ++tail) {
+      for (const std::size_t base : {std::size_t{0}, std::size_t{128}}) {
+        const std::size_t size = base + tail;
+        const Bytes iv = rng.bytes(12);
+        const Bytes aad = rng.bytes(tail % 24);
+        const Bytes plaintext = rng.bytes(size);
+        const Bytes scalar = seal_with_backend(crypto::Backend::kScalar, key, iv, aad, plaintext);
+        const Bytes accel = seal_with_backend(crypto::Backend::kAesni, key, iv, aad, plaintext);
+        EXPECT_EQ(scalar, accel) << "key_len=" << key_len << " size=" << size;
+        // Both must also match the bit-serial reference oracle.
+        const crypto::AesGcm oracle(key);
+        EXPECT_EQ(scalar, oracle.seal_reference(iv, aad, plaintext))
+            << "key_len=" << key_len << " size=" << size;
+      }
+    }
+  }
+}
+
+TEST(CryptoDiff, GcmCrossBackendEmptyAndAadOnly) {
+  crypto::Drbg rng("diff-gcm-backend-aad", 21);
+  const Bytes key = rng.bytes(32);
+  const Bytes iv = rng.bytes(12);
+  // Empty plaintext + empty AAD (tag-only output), and AAD-only inputs whose
+  // lengths straddle the 64-byte aggregated GHASH batch.
+  for (const std::size_t aad_len : {0, 1, 16, 63, 64, 65, 200}) {
+    const Bytes aad = rng.bytes(aad_len);
+    const Bytes scalar = seal_with_backend(crypto::Backend::kScalar, key, iv, aad, {});
+    const Bytes accel = seal_with_backend(crypto::Backend::kAesni, key, iv, aad, {});
+    EXPECT_EQ(scalar, accel) << "aad_len=" << aad_len;
+    ASSERT_EQ(scalar.size(), crypto::AesGcm::kTagSize);
+
+    // Cross-open: a backend must accept the other backend's sealed output.
+    BackendGuard guard(crypto::Backend::kAesni);
+    const crypto::AesGcm gcm(key);
+    const auto opened = gcm.open(iv, aad, scalar);
+    ASSERT_TRUE(opened.has_value()) << "aad_len=" << aad_len;
+    EXPECT_TRUE(opened->empty());
+  }
+}
+
+TEST(CryptoDiff, GcmCrossBackendInPlaceAliasing) {
+  crypto::Drbg rng("diff-gcm-backend-alias", 22);
+  const Bytes key = rng.bytes(16);
+  for (const crypto::Backend backend : {crypto::Backend::kScalar, crypto::Backend::kAesni}) {
+    BackendGuard guard(backend);
+    const crypto::AesGcm gcm(key);
+    for (const std::size_t size : {0, 1, 15, 16, 65, 128, 129, 1500}) {
+      const Bytes iv = rng.bytes(12);
+      const Bytes aad = rng.bytes(13);
+      const Bytes plaintext = rng.bytes(size);
+
+      // seal_into with the plaintext already in the output buffer.
+      Bytes buf(size + crypto::AesGcm::kTagSize);
+      std::copy(plaintext.begin(), plaintext.end(), buf.begin());
+      gcm.seal_into(iv, aad, ByteView(buf).first(size), buf);
+      EXPECT_EQ(buf, gcm.seal_reference(iv, aad, plaintext))
+          << crypto::backend_name(backend) << " size=" << size;
+
+      // open_into decrypting into the ciphertext's own storage.
+      ASSERT_TRUE(gcm.open_into(iv, aad, buf, MutableByteView(buf).first(size)))
+          << crypto::backend_name(backend) << " size=" << size;
+      EXPECT_TRUE(std::equal(plaintext.begin(), plaintext.end(), buf.begin()))
+          << crypto::backend_name(backend) << " size=" << size;
+    }
+  }
+}
+
+TEST(CryptoDiff, Sha256CrossBackend) {
+  crypto::Drbg rng("diff-sha-backend", 23);
+  // Lengths straddling the 64-byte block boundary and multi-block bulk runs
+  // (the SHA-NI path compresses whole runs of blocks in one call).
+  for (const std::size_t size : {0, 1, 55, 56, 63, 64, 65, 127, 128, 129, 1000}) {
+    const Bytes data = rng.bytes(size);
+    Bytes scalar_digest, accel_digest;
+    {
+      BackendGuard guard(crypto::Backend::kScalar);
+      scalar_digest = crypto::Sha256::digest(data);
+    }
+    {
+      BackendGuard guard(crypto::Backend::kAesni);
+      accel_digest = crypto::Sha256::digest(data);
+      // Also stream byte-at-a-time: every block goes through the staging
+      // buffer instead of the bulk run.
+      crypto::Sha256 streaming;
+      for (const std::uint8_t b : data) streaming.update(ByteView(&b, 1));
+      EXPECT_EQ(streaming.finish(), accel_digest) << "size=" << size;
+    }
+    EXPECT_EQ(scalar_digest, accel_digest) << "size=" << size;
+  }
+}
+
+TEST(CryptoDiff, BackendReportingIsConsistent) {
+  // backend_name round-trips, and the active name matches the active enum.
+  EXPECT_STREQ(crypto::backend_name(crypto::Backend::kScalar), "scalar");
+  EXPECT_STREQ(crypto::backend_name(crypto::Backend::kAesni), "aesni");
+  EXPECT_STREQ(crypto::active_backend_name(), crypto::backend_name(crypto::active_backend()));
+  // Forcing scalar always succeeds on every machine.
+  BackendGuard guard(crypto::Backend::kScalar);
+  EXPECT_EQ(crypto::active_backend(), crypto::Backend::kScalar);
+  // An Aes built under forced scalar must report unaccelerated.
+  const crypto::Aes aes(Bytes(16, 0x01));
+  EXPECT_FALSE(aes.accelerated());
 }
 
 // --------------------------------------------------------------- mod_exp

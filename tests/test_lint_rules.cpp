@@ -135,6 +135,10 @@ TEST(LintRules, BadFixturesTripEveryRuleAtDocumentedLines) {
     }
   }
 
+  // wipe-all-paths on SIMD locals: a secret-named __m128i in an
+  // intrinsic-including file is an owning buffer; the early return leaks it.
+  EXPECT_TRUE(run.has("src/crypto/bad_wipe_simd.cpp", 15, "wipe-all-paths"));
+
   // dangling-span: member store, container store, use-after-recycle, and a
   // returned view into a reusable scratch buffer.
   EXPECT_TRUE(run.has("src/mbtls/bad_span.cpp", 24, "dangling-span"));
@@ -155,15 +159,17 @@ TEST(LintRules, BadFixturesTripEveryRuleAtDocumentedLines) {
   EXPECT_EQ(run.count_mentioning("bad_queue.cpp"), 2);
   EXPECT_EQ(run.count_mentioning("bad_escape.cpp"), 2);
   EXPECT_EQ(run.count_mentioning("bad_wipe_paths.cpp"), 1);
+  EXPECT_EQ(run.count_mentioning("bad_wipe_simd.cpp"), 1);
   EXPECT_EQ(run.count_mentioning("bad_span.cpp"), 4);
   EXPECT_EQ(run.count_mentioning("bad_lexer_stress.cpp"), 1);
-  EXPECT_EQ(static_cast<int>(run.lines.size()), 29);
+  EXPECT_EQ(static_cast<int>(run.lines.size()), 30);
 }
 
 TEST(LintRules, GoodFixturesAreClean) {
   for (const char* rel :
        {"src/crypto/good_compare.cpp", "src/crypto/good_wipe.cpp",
-        "src/crypto/good_wipe_paths.cpp", "src/tls/good_parser.cpp",
+        "src/crypto/good_wipe_paths.cpp", "src/crypto/good_wipe_simd.cpp",
+        "src/crypto/good_simd_no_include.cpp", "src/tls/good_parser.cpp",
         "src/tls/good_trace.cpp", "src/tls/good_lexer_stress.cpp",
         "src/util/good_queue.cpp", "src/mbtls/good_escape.cpp",
         "src/mbtls/good_span.cpp", "tests/good_det.cpp"}) {
@@ -178,6 +184,8 @@ TEST(LintRules, NoFindingsOnGoodTwinsInFullRun) {
   EXPECT_EQ(run.count_mentioning("good_compare.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_wipe.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_wipe_paths.cpp"), 0);
+  EXPECT_EQ(run.count_mentioning("good_wipe_simd.cpp"), 0);
+  EXPECT_EQ(run.count_mentioning("good_simd_no_include.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_parser.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_trace.cpp"), 0);
   EXPECT_EQ(run.count_mentioning("good_lexer_stress.cpp"), 0);
@@ -275,6 +283,23 @@ TEST(LintLexer, BackslashContinuationExtendsLineComments) {
     saw_ok = saw_ok || (t.kind == TokenKind::kIdentifier && t.text == "ok");
   EXPECT_TRUE(saw_ok);
   EXPECT_TRUE(f.has_annotation(3, "secret")) << "line numbers must survive continuations";
+}
+
+TEST(LintLexer, IncludeTargetsAreRecorded) {
+  const LexedFile f = lex("t.cpp",
+                          "#include <immintrin.h>\n#include \"crypto/aes.h\"\n"
+                          "#  include <vector>\n#define NOT_AN_INCLUDE <x.h>\n"
+                          "int code = 1;\n");
+  EXPECT_EQ(f.includes.size(), 3u);
+  EXPECT_TRUE(f.includes.count("immintrin.h"));
+  EXPECT_TRUE(f.includes.count("crypto/aes.h"));
+  EXPECT_TRUE(f.includes.count("vector"));
+  EXPECT_TRUE(f.has_intrinsic_include());
+  // Directive bodies still never reach the token stream.
+  for (const auto& t : f.tokens) EXPECT_NE(t.text, "immintrin");
+
+  const LexedFile g = lex("t.cpp", "#include <vector>\nint code = 1;\n");
+  EXPECT_FALSE(g.has_intrinsic_include());
 }
 
 // --------------------------------------------------------------- CFG units

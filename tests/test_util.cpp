@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "util/bytes.h"
+#include "util/ct.h"
 #include "util/hex.h"
 #include "util/reader.h"
 #include "util/writer.h"

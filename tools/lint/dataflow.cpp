@@ -86,6 +86,14 @@ bool is_view_type(const std::string& t) {
 bool is_owning_buf_type(const std::string& t) {
   return t == "Bytes" || t == "vector" || t == "array";
 }
+/// x86 SIMD vector registers spilled to locals (the AES-NI backend keeps
+/// round keys and GHASH key powers in these). Owning by-value storage, so
+/// secret-named ones carry the same wipe obligation as byte buffers — but
+/// only in files that include an intrinsic header (LexedFile::
+/// has_intrinsic_include), where the name is certain to be Intel's type.
+bool is_simd_vector_type(const std::string& t) {
+  return t == "__m128i" || t == "__m256i" || t == "__m512i";
+}
 
 const std::set<std::string>& decl_keywords() {
   static const std::set<std::string> kSet = {
@@ -484,8 +492,13 @@ class FnTaint {
       } else if (!da.compound) {
         s.taint.erase(da.name);
       }
-      // Wipe obligations: secret-named (or annotated) owning buffer locals.
-      if (da.is_decl && !da.type_ref_or_ptr && is_owning_buf_type(da.type_last) &&
+      // Wipe obligations: secret-named (or annotated) owning buffer locals,
+      // plus SIMD vector locals in intrinsic-including files (key schedules
+      // staged in registers still hit the stack when spilled).
+      const bool owning_type =
+          is_owning_buf_type(da.type_last) ||
+          (f_.has_intrinsic_include() && is_simd_vector_type(da.type_last));
+      if (da.is_decl && !da.type_ref_or_ptr && owning_type &&
           (is_secret_name(da.name) || ann_secret) &&
           !f_.has_annotation(da.name_line, "not-secret") &&
           !allowed(da.name_line, kWipeAllPaths)) {

@@ -1,0 +1,22 @@
+// Lint fixture: `wipe-all-paths` must extend to `__m128i` locals in files
+// that include an x86 intrinsic header — key schedules staged in SIMD
+// registers spill to stack slots that outlive the function, exactly like a
+// secret-named byte buffer.
+#include <immintrin.h>
+
+namespace fixture {
+
+void use(__m128i v);
+bool checked(int n);
+
+bool expand_key(const unsigned char* key, int n) {
+  __m128i key_vec = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key));
+  if (!checked(n)) {
+    return false;  // line 15: leaks `key_vec` — the early return skips the wipe
+  }
+  use(key_vec);
+  secure_wipe_object(key_vec);  // the happy path wipes; the bail-out does not
+  return true;
+}
+
+}  // namespace fixture

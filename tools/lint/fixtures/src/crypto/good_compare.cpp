@@ -9,6 +9,16 @@ bool check_tag(const Byte* mac_key, const Byte* expected, unsigned long n) {
   return constant_time_equal(mac_key, expected, n);
 }
 
+namespace ct {
+bool equal(const Byte* a, const Byte* b, unsigned long n);
+}
+
+// The qualified ct::equal from util/ct.h is the sanctioned constant-time
+// comparison; the secret-compare rule must not confuse it with std::equal.
+bool check_tag_qualified(const Byte* mac_key, const Byte* expected, unsigned long n) {
+  return ct::equal(mac_key, expected, n);
+}
+
 // Length metadata about secrets is public and may use fast compares.
 bool check_len(unsigned long key_len) { return key_len == 32; }
 

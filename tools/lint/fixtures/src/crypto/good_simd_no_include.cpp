@@ -1,0 +1,18 @@
+// Lint fixture: without an intrinsic header include, `__m128i` could be any
+// local typedef — the SIMD wipe obligation must NOT apply. This file would
+// be a leak if bad_wipe_simd.cpp's rule fired unconditionally.
+
+namespace fixture {
+
+struct __m128i {
+  unsigned long long lo, hi;
+};
+
+void use(__m128i v);
+
+void expand_key(__m128i seed) {
+  __m128i key_vec = seed;  // same shape as the bad fixture, but no include
+  use(key_vec);
+}
+
+}  // namespace fixture

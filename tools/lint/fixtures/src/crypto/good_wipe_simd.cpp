@@ -1,0 +1,28 @@
+// Lint fixture: the clean counterpart of bad_wipe_simd.cpp — a `__m128i`
+// secret local wiped on every path raises nothing, and a vector local whose
+// name is not secret carries no obligation at all.
+#include <immintrin.h>
+
+namespace fixture {
+
+void use(__m128i v);
+bool checked(int n);
+
+bool expand_key(const unsigned char* key, int n) {
+  __m128i key_vec = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key));
+  if (!checked(n)) {
+    secure_wipe_object(key_vec);
+    return false;
+  }
+  use(key_vec);
+  secure_wipe_object(key_vec);
+  return true;
+}
+
+void counter_math(const unsigned char* block) {
+  // Not key material: public counter state, no wipe required.
+  __m128i ctr_vec = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  use(ctr_vec);
+}
+
+}  // namespace fixture

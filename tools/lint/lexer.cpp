@@ -106,16 +106,33 @@ LexedFile lex(std::string path, const std::string& src) {
       i = (j + 1 < n) ? j + 2 : n;
       continue;
     }
-    // Preprocessor directive: skip to end of line (honoring continuations).
-    // Rules never need to see inside #include / #pragma / #define.
+    // Preprocessor directive: record `#include` targets (has_intrinsic_include
+    // keys off them), then skip to end of line (honoring continuations) —
+    // the token stream never sees inside #pragma / #define bodies.
     if (c == '#') {
+      std::string directive;
       while (i < n && src[i] != '\n') {
         if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
           ++line;
           i += 2;
           continue;
         }
+        directive += src[i];
         ++i;
+      }
+      std::size_t p = 1;  // past '#'
+      while (p < directive.size() && std::isspace(static_cast<unsigned char>(directive[p]))) ++p;
+      if (directive.compare(p, 7, "include") == 0) {
+        p += 7;
+        while (p < directive.size() && std::isspace(static_cast<unsigned char>(directive[p])))
+          ++p;
+        if (p < directive.size() && (directive[p] == '<' || directive[p] == '"')) {
+          const char close = directive[p] == '<' ? '>' : '"';
+          const std::size_t end = directive.find(close, p + 1);
+          if (end != std::string::npos) {
+            out.includes.insert(directive.substr(p + 1, end - p - 1));
+          }
+        }
       }
       continue;
     }

@@ -32,14 +32,32 @@ struct Token {
 
 /// One source file, lexed. `annotations` maps line -> the set of directives
 /// from `// lint: a, b` comments on that line (comma separated, trimmed).
+/// `includes` holds every `#include` target (the text between <> or "",
+/// without the delimiters) — the only preprocessor content the rules need.
 struct LexedFile {
   std::string path;
   std::vector<Token> tokens;
   std::map<int, std::set<std::string>> annotations;
+  std::set<std::string> includes;
 
   bool has_annotation(int line, const std::string& directive) const {
     auto it = annotations.find(line);
     return it != annotations.end() && it->second.count(directive) > 0;
+  }
+
+  /// True when the file includes an x86 SIMD intrinsic header. Files like
+  /// crypto/backend_aesni.cpp hold key material in `__m128i` registers and
+  /// locals; the wipe rules treat those vector types as owning buffers, but
+  /// only in files where the type can actually be Intel's (not a typedef).
+  bool has_intrinsic_include() const {
+    static const char* kIntrinsicHeaders[] = {
+        "immintrin.h", "wmmintrin.h", "emmintrin.h", "smmintrin.h", "tmmintrin.h",
+        "xmmintrin.h", "pmmintrin.h", "nmmintrin.h", "x86intrin.h",
+    };
+    for (const char* h : kIntrinsicHeaders) {
+      if (includes.count(h) > 0) return true;
+    }
+    return false;
   }
 };
 

@@ -128,8 +128,11 @@ void rule_secret_compare(const LexedFile& f, std::vector<Finding>& out) {
       continue;
     }
 
-    // equal(...) / std::equal(...) with a secret-named argument.
+    // equal(...) / std::equal(...) with a secret-named argument. The
+    // ct::equal from util/ct.h is the sanctioned constant-time comparison,
+    // so the qualified spelling is exempt.
     if (t.text == "equal" && i + 1 < toks.size() && is_punct(toks[i + 1], "(")) {
+      if (i >= 2 && is_punct(toks[i - 1], "::") && is_ident(toks[i - 2], "ct")) continue;
       const std::size_t close = match_paren(toks, i + 1);
       for (std::size_t j = i + 2; j < close; ++j) {
         if (toks[j].kind == TokenKind::kIdentifier && is_secret_name(toks[j].text)) {
