@@ -1,0 +1,279 @@
+// C10K-style load harness for the posix transport backend: N concurrent
+// mbTLS sessions from one client event loop, through one middlebox event
+// loop, into one server event loop — three threads, real TCP over 127.0.0.1.
+//
+// Phase 1 dials every session at once and measures time-to-established per
+// session (p50/p99 under the resulting connection storm — queueing included,
+// that is the point). Phase 2 holds the sessions open and pushes application
+// records from every session for a fixed window, with writability-gated
+// sending so the bindings' backpressure buffering is on the measured path;
+// steady-state goodput is what the server decrypts.
+//
+//   bench_c10k [--sessions N] [--payload BYTES] [--seconds S] [--quick]
+//              [--json PATH]
+//
+// Scaling to the full 10K needs `ulimit -n` headroom (~4 fds per session
+// across the three loops); the harness raises RLIMIT_NOFILE to the hard cap
+// and then refuses session counts that still do not fit.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "mbtls/transport.h"
+#include "net/posix/epoll_loop.h"
+
+namespace mbtls::bench {
+namespace {
+
+using namespace mb;
+using net::Stream;
+using net::posix::EpollLoop;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (idx - static_cast<double>(lo)) * (sorted[hi] - sorted[lo]);
+}
+
+void raise_fd_limit(std::size_t needed) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur < needed && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = std::min<rlim_t>(lim.rlim_max, std::max<rlim_t>(needed, lim.rlim_cur));
+    setrlimit(RLIMIT_NOFILE, &lim);
+  }
+  getrlimit(RLIMIT_NOFILE, &lim);
+  if (lim.rlim_cur < needed) {
+    std::fprintf(stderr, "bench_c10k: need ~%zu fds, RLIMIT_NOFILE is %llu — lower --sessions\n",
+                 needed, static_cast<unsigned long long>(lim.rlim_cur));
+    std::exit(2);
+  }
+}
+
+struct ClientSlot {
+  std::unique_ptr<ClientSession> session;
+  std::unique_ptr<SocketBinding<ClientSession>> binding;
+  Stream* stream = nullptr;
+  Clock::time_point established_at{};
+  bool established = false;
+  bool failed = false;
+};
+
+int run(int argc, char** argv) {
+  const bool quick = [&] {
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--quick") return true;
+    return false;
+  }();
+  const std::string sessions_s = value_arg(argc, argv, "--sessions");
+  const std::string payload_s = value_arg(argc, argv, "--payload");
+  const std::string seconds_s = value_arg(argc, argv, "--seconds");
+  const int sessions = sessions_s.empty() ? (quick ? 25 : 500) : std::atoi(sessions_s.c_str());
+  const std::size_t payload =
+      payload_s.empty() ? 16 * 1024 : static_cast<std::size_t>(std::atol(payload_s.c_str()));
+  const double seconds = seconds_s.empty() ? (quick ? 0.3 : 2.0) : std::atof(seconds_s.c_str());
+  raise_fd_limit(static_cast<std::size_t>(sessions) * 4 + 64);
+
+  // ECDSA identities: cheap enough to sign N times that the transport, not
+  // the certificate math, dominates the handshake storm.
+  const Identity server_id = make_identity("c10k.example", x509::KeyType::kEcdsaP256);
+  const Identity mbox_id = make_identity("c10kproxy.example", x509::KeyType::kEcdsaP256);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> established{0}, failed{0};
+  std::atomic<std::uint64_t> server_bytes{0};
+
+  // --- server loop ----------------------------------------------------------
+  EpollLoop server_loop;
+  struct ServerSlot {
+    std::unique_ptr<ServerSession> session;
+    std::unique_ptr<SocketBinding<ServerSession>> binding;
+  };
+  std::vector<std::unique_ptr<ServerSlot>> server_slots;
+  server_slots.reserve(static_cast<std::size_t>(sessions));
+  const net::Port server_port = server_loop.listen_stream(0, [&](Stream& s) {
+    auto slot = std::make_unique<ServerSlot>();
+    ServerSession::Options sopts;
+    sopts.tls.private_key = server_id.key;
+    sopts.tls.certificate_chain = server_id.chain;
+    sopts.tls.rng_seed = 7000 + server_slots.size();
+    slot->session = std::make_unique<ServerSession>(std::move(sopts));
+    slot->binding = std::make_unique<SocketBinding<ServerSession>>(*slot->session, s);
+    ServerSlot* raw = slot.get();
+    auto inner = std::move(s.on_data);
+    s.on_data = [&server_bytes, raw, inner = std::move(inner)](ByteView d) {
+      if (inner) inner(d);
+      server_bytes.fetch_add(raw->session->take_app_data().size(), std::memory_order_relaxed);
+    };
+    server_slots.push_back(std::move(slot));
+  });
+
+  // --- middlebox loop -------------------------------------------------------
+  EpollLoop mbox_loop;
+  struct MbSlot {
+    std::unique_ptr<Middlebox> mbox;
+    std::unique_ptr<MiddleboxBinding> binding;
+  };
+  std::vector<std::unique_ptr<MbSlot>> mb_slots;
+  mb_slots.reserve(static_cast<std::size_t>(sessions));
+  const net::Port mbox_port = mbox_loop.listen_stream(0, [&](Stream& down) {
+    auto slot = std::make_unique<MbSlot>();
+    Middlebox::Options mopts;
+    mopts.name = "c10kproxy.example";
+    mopts.side = Middlebox::Side::kClientSide;
+    mopts.private_key = mbox_id.key;
+    mopts.certificate_chain = mbox_id.chain;
+    slot->mbox = std::make_unique<Middlebox>(std::move(mopts));
+    Stream& up = mbox_loop.dial({0, server_port, "127.0.0.1"});
+    slot->binding = std::make_unique<MiddleboxBinding>(*slot->mbox, down, up);
+    mb_slots.push_back(std::move(slot));
+  });
+
+  // --- client loop: one dial storm ------------------------------------------
+  EpollLoop client_loop;
+  std::vector<std::unique_ptr<ClientSlot>> clients;
+  clients.reserve(static_cast<std::size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    auto slot = std::make_unique<ClientSlot>();
+    ClientSession::Options copts;
+    copts.tls.trust_anchors = {ca().root()};
+    copts.tls.server_name = "c10k.example";
+    copts.tls.rng_seed = 9000 + static_cast<std::uint64_t>(i);
+    slot->session = std::make_unique<ClientSession>(std::move(copts));
+    slot->stream = &client_loop.dial({0, mbox_port, "127.0.0.1"});
+    ClientSlot* raw = slot.get();
+    slot->stream->on_connect = [raw] { raw->session->start(); };
+    slot->binding = std::make_unique<SocketBinding<ClientSession>>(*slot->session, *slot->stream);
+    auto inner = std::move(slot->stream->on_data);
+    slot->stream->on_data = [raw, &established, &failed, inner = std::move(inner)](ByteView d) {
+      if (inner) inner(d);
+      if (!raw->established && raw->session->established()) {
+        raw->established = true;
+        raw->established_at = Clock::now();
+        established.fetch_add(1, std::memory_order_release);
+      } else if (!raw->failed && raw->session->failed()) {
+        raw->failed = true;
+        failed.fetch_add(1, std::memory_order_release);
+      }
+    };
+    clients.push_back(std::move(slot));
+  }
+
+  // Steady phase: the client thread itself refills every writable session,
+  // so sends interleave with polling on one thread (the loop's contract).
+  std::atomic<bool> sending{false};
+  crypto::Drbg payload_rng("c10k-payload", 1);
+  const Bytes chunk = payload_rng.bytes(payload);
+
+  const auto t_start = Clock::now();
+  std::thread ts([&] {
+    while (!stop.load(std::memory_order_relaxed)) server_loop.poll_once(net::kMillisecond);
+  });
+  std::thread tm([&] {
+    while (!stop.load(std::memory_order_relaxed)) mbox_loop.poll_once(net::kMillisecond);
+  });
+  std::thread tc([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      client_loop.poll_once(net::kMillisecond);
+      if (sending.load(std::memory_order_acquire)) {
+        for (auto& c : clients) {
+          if (c->established && c->stream->writable() && c->session->established()) {
+            c->session->send(chunk);
+            c->binding->flush();
+          }
+        }
+      }
+    }
+  });
+
+  // Phase 1: wait for the handshake storm to finish.
+  const int wait_limit_ms = 120'000;
+  for (int waited = 0; waited < wait_limit_ms; waited += 20) {
+    if (established.load(std::memory_order_acquire) + failed.load(std::memory_order_acquire) >=
+        sessions)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const int ok = established.load(std::memory_order_acquire);
+  const int bad = failed.load(std::memory_order_acquire);
+
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(ok));
+  for (const auto& c : clients)
+    if (c->established) latencies.push_back(ms_between(t_start, c->established_at));
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 50);
+  const double p99 = percentile(latencies, 99);
+  const Stats lat_stats = stats_of(latencies);
+
+  // Phase 2: steady-state goodput window (skip if nothing established).
+  double gbps = 0;
+  std::uint64_t window_bytes = 0;
+  double window_s = 0;
+  if (ok > 0) {
+    sending.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(quick ? 50 : 250));  // warm-up
+    const std::uint64_t bytes0 = server_bytes.load(std::memory_order_relaxed);
+    const auto w0 = Clock::now();
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    const std::uint64_t bytes1 = server_bytes.load(std::memory_order_relaxed);
+    const auto w1 = Clock::now();
+    sending.store(false, std::memory_order_release);
+    window_bytes = bytes1 - bytes0;
+    window_s = std::chrono::duration<double>(w1 - w0).count();
+    gbps = static_cast<double>(window_bytes) * 8.0 / window_s / 1e9;
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  tc.join();
+  tm.join();
+  ts.join();
+
+  std::printf("bench_c10k: sessions=%d established=%d failed=%d\n", sessions, ok, bad);
+  std::printf("  handshake latency under storm: p50=%.1f ms  p99=%.1f ms  mean=%.1f ms\n",
+              p50, p99, lat_stats.mean);
+  std::printf("  steady-state goodput: %.3f Gbps (%llu bytes over %.2f s, %zu-byte records)\n",
+              gbps, static_cast<unsigned long long>(window_bytes), window_s, payload);
+
+  const std::string json_path = json_arg(argc, argv);
+  if (!json_path.empty()) {
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"bench\":\"c10k\",\"backend\":\"posix-epoll\",\"sessions\":%d,"
+                  "\"established\":%d,\"failed\":%d,"
+                  "\"handshake_ms\":{\"p50\":%.3f,\"p99\":%.3f,\"mean\":%.3f,\"ci95\":%.3f},"
+                  "\"payload_bytes\":%zu,\"window_seconds\":%.3f,"
+                  "\"window_bytes\":%llu,\"steady_gbps\":%.4f}\n",
+                  sessions, ok, bad, p50, p99, lat_stats.mean, lat_stats.ci95, payload,
+                  window_s, static_cast<unsigned long long>(window_bytes), gbps);
+    if (!write_text_file(json_path, buf)) {
+      std::fprintf(stderr, "bench_c10k: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  // The harness's own pass/fail: every session must complete its handshake
+  // and the window must move real bytes end to end.
+  if (ok != sessions || (ok > 0 && window_bytes == 0)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace mbtls::bench
+
+int main(int argc, char** argv) { return mbtls::bench::run(argc, argv); }

@@ -6,6 +6,8 @@
 #                                    #            BENCH_fig5.json,
 #                                    #            BENCH_fig7.json in repo root
 #   scripts/bench.sh --quick         # tiny budgets (CI / smoke)
+#   scripts/bench.sh --c10k          # additionally run the real-socket
+#                                    # C10K harness -> BENCH_c10k.json
 #   scripts/bench.sh --out DIR       # write the JSON files elsewhere
 #   scripts/bench.sh --backend B     # pin the crypto backend (auto|scalar|aesni)
 #                                    # via MBTLS_CRYPTO_BACKEND for every binary
@@ -25,13 +27,15 @@ cd "$repo_root"
 
 out_dir="$repo_root"
 quick=0
+c10k=0
 backend=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1; shift ;;
+    --c10k) c10k=1; shift ;;
     --out) out_dir="$2"; shift 2 ;;
     --backend) backend="$2"; shift 2 ;;
-    *) echo "usage: scripts/bench.sh [--quick] [--out DIR] [--backend auto|scalar|aesni]" >&2; exit 2 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--c10k] [--out DIR] [--backend auto|scalar|aesni]" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$out_dir"
@@ -44,8 +48,9 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 
 echo "=== bench: configure + build (Release) ==="
 cmake --preset default >/dev/null
-cmake --build --preset default -j "$jobs" --target \
-  bench_microcrypto bench_fig5_handshake_cpu bench_fig7_sgx_throughput
+targets=(bench_microcrypto bench_fig5_handshake_cpu bench_fig7_sgx_throughput)
+[[ "$c10k" == 1 ]] && targets+=(bench_c10k)
+cmake --build --preset default -j "$jobs" --target "${targets[@]}"
 
 micro_args=()
 fig5_args=(--trials 20)
@@ -77,7 +82,18 @@ echo "=== bench_fig7_sgx_throughput --scaling (multi-core data plane) ==="
 ./build/bench/bench_fig7_sgx_throughput "${scaling_args[@]}" \
   --json "$out_dir/BENCH_fig7_scaling.json"
 
+if [[ "$c10k" == 1 ]]; then
+  echo
+  echo "=== bench_c10k (posix epoll backend, real loopback sockets) ==="
+  c10k_args=()
+  [[ "$quick" == 1 ]] && c10k_args=(--quick)  # 25 sessions, 0.3 s window
+  ./build/bench/bench_c10k "${c10k_args[@]}" --json "$out_dir/BENCH_c10k.json"
+fi
+
 echo
 echo "wrote: $out_dir/BENCH_micro.json $out_dir/BENCH_fig5.json $out_dir/BENCH_fig7.json $out_dir/BENCH_fig7_scaling.json"
+if [[ "$c10k" == 1 ]]; then
+  echo "wrote: $out_dir/BENCH_c10k.json"
+fi
 grep -o '"backend":"[^"]*","cpu_features":"[^"]*"' "$out_dir/BENCH_micro.json" \
   | sed 's/^/recorded /' || true

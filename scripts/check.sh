@@ -38,6 +38,14 @@ else
   exit 1
 fi
 
+step "transport: posix backend + cross-backend conformance + loopback"
+# TimerWheel/EpollLoop units, the sim-vs-epoll conformance matrix (including
+# the transport-glue bugfix regressions), and the three-thread loopback
+# integration pass — all over real 127.0.0.1 sockets.
+ctest --preset default \
+  -R 'TimerWheel\.|EpollLoop\.|TransportConformance/|PosixLoopback\.|TransportGlue\.' \
+  --output-on-failure
+
 step "chaos: fault-injection pass (ctest -R Chaos)"
 ctest --preset default -R 'Chaos\.' --output-on-failure
 
@@ -53,11 +61,18 @@ scripts/bench.sh --quick --out /tmp/mbtls-bench-check
 # silently, which nothing else in the gate would catch.
 step "tsan: build concurrency tests"
 cmake --preset tsan >/dev/null
-cmake --build --preset tsan -j "$jobs" --target test_workpool
+cmake --build --preset tsan -j "$jobs" --target test_workpool test_posix_loopback \
+  test_transport_conformance
 
 step "tsan: WorkPool / ReprotectPipeline / DrbgThreading"
 ctest --preset tsan -R 'SpscRing\.|WorkPool\.|ReprotectPipeline\.|DrbgThreading\.' \
   --output-on-failure
+
+# The loopback integration test drives three epoll loops on three threads —
+# the only place transport code runs multi-threaded — and the conformance
+# matrix exercises both backends under the same instrumentation.
+step "tsan: posix loopback + transport conformance"
+ctest --preset tsan -R 'PosixLoopback\.|TransportConformance/' --output-on-failure
 
 if [[ "$fast" == 1 ]]; then
   step "fast mode: skipping sanitizer builds"

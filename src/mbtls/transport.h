@@ -1,28 +1,58 @@
-// Glue between the sans-IO mbTLS components and the simulated network's TCP
-// sockets. Each binder wires a component's input to socket data events and
-// flushes its pending output back to the socket after every event.
+// Glue between the sans-IO mbTLS components and a transport backend. Each
+// binder wires a component's input to stream data events and flushes its
+// pending output back to the stream after every event.
+//
+// The bindings are backend-agnostic: they talk to net::Stream /
+// net::Scheduler / net::Transport (net/transport.h), so the same glue runs
+// on the discrete-event simulator (net::Host + net::Socket, virtual time)
+// and on the posix epoll loop (net::posix::EpollLoop, real sockets, real
+// time). tests/test_transport_conformance.cpp holds them to identical
+// behaviour.
 //
 // The bindings also own the failure surface the sans-IO cores cannot see:
-// virtual-time handshake deadlines (sessions have no clock), propagation of
-// abnormal TCP teardown into explicit session errors, and the P5 degradation
-// path (FallbackClient) that redials the origin directly when the middlebox
-// path dies mid-handshake.
+// handshake deadlines (sessions have no clock), propagation of abnormal TCP
+// teardown into explicit session errors, backpressure buffering (a record
+// taken from a session or middlebox is never dropped just because the
+// destination cannot accept it *yet*), and the P5 degradation path
+// (FallbackClient) that redials the origin directly when the middlebox path
+// dies mid-handshake.
 #pragma once
+
+#include <memory>
 
 #include "mbtls/client.h"
 #include "mbtls/middlebox.h"
 #include "mbtls/server.h"
-#include "net/tcp.h"
+#include "net/tcp.h"  // the default (simulator) backend
+#include "net/transport.h"
 #include "tls/engine.h"
 
 namespace mbtls::mb {
 
+/// Shared output rule for all bindings: output taken from a sans-IO core is
+/// appended to `pending` and drained only when the destination can take it —
+/// on flush, on connect, and on the backend's writability edge. Only a
+/// *closed* destination discards (the bytes are undeliverable); "not yet
+/// established" and "backpressured" both buffer. Losing already-taken
+/// records on a transient !writable() was the transport-glue bug the
+/// simulator's lockstep delivery used to hide.
+inline void drain_or_buffer(net::Stream& stream, Bytes& pending) {
+  if (pending.empty()) return;
+  if (stream.closed()) {  // teardown raced the output: nowhere to go
+    pending.clear();
+    return;
+  }
+  if (!stream.established() || !stream.writable()) return;  // retried on connect/writable
+  stream.send(pending);
+  pending.clear();
+}
+
 /// Binds anything with feed()/take_output() (ClientSession, ServerSession,
-/// tls::Engine) to one socket.
+/// tls::Engine) to one stream.
 template <typename Session>
 class SocketBinding {
  public:
-  SocketBinding(Session& session, net::Socket& socket) : session_(session), socket_(socket) {
+  SocketBinding(Session& session, net::Stream& socket) : session_(session), socket_(socket) {
     socket_.on_data = [this](ByteView data) {
       session_.feed(data);
       flush();
@@ -34,27 +64,33 @@ class SocketBinding {
         session_.transport_closed();
       }
     };
+    // The pending-drain hook is installed exactly once, here, and *chains*
+    // any previously installed connect handler (e.g. one that calls
+    // session.start() then flush()). flush() used to reassign on_connect on
+    // every pre-establishment call, silently clobbering such handlers.
+    socket_.on_connect = [this, prior = std::move(socket_.on_connect)] {
+      if (prior) prior();
+      flush();
+    };
+    socket_.on_writable = [this] { flush(); };
   }
 
   /// Push any pending output (call after start() or send()).
   void flush() {
-    const Bytes out = session_.take_output();
-    if (out.empty()) return;
-    if (!socket_.writable()) return;  // output raced a teardown: nowhere to go
-    if (socket_.established()) {
-      socket_.send(out);
-    } else {
-      pending_ = concat({pending_, out});
-      socket_.on_connect = [this] { drain_pending(); };
-    }
+    append(pending_, session_.take_output());
+    drain_or_buffer(socket_, pending_);
   }
 
-  /// Enforce the session's handshake deadline on the virtual clock: one
-  /// event `timeout` from now; if the session is still handshaking it emits
-  /// its fatal alert (flushed here) and the socket is torn down.
-  void arm_handshake_deadline(net::Simulator& sim, net::Time timeout) {
+  /// Enforce the session's handshake deadline: one event `timeout` from now
+  /// on the backend's clock; if the session is still handshaking it emits
+  /// its fatal alert (flushed here) and the stream is torn down. The timer
+  /// holds only a weak liveness token: a binding destroyed first (the
+  /// FallbackClient redial pattern) leaves the callback a no-op, not a
+  /// dangling `this`.
+  void arm_handshake_deadline(net::Scheduler& sched, net::Time timeout) {
     if (timeout == 0) return;
-    sim.schedule(timeout, [this] {
+    sched.schedule(timeout, [this, alive = std::weak_ptr<const bool>(alive_)] {
+      if (alive.expired()) return;
       if (session_.handshake_expired()) {
         flush();
         if (socket_.established()) {
@@ -66,26 +102,20 @@ class SocketBinding {
     });
   }
 
-  net::Socket& socket() { return socket_; }
+  net::Stream& socket() { return socket_; }
 
  private:
-  void drain_pending() {
-    if (!pending_.empty()) {
-      socket_.send(pending_);
-      pending_.clear();
-    }
-  }
-
   Session& session_;
-  net::Socket& socket_;
+  net::Stream& socket_;
   Bytes pending_;
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
-/// Binds a Middlebox between two sockets (downstream toward the client,
+/// Binds a Middlebox between two streams (downstream toward the client,
 /// upstream toward the server).
 class MiddleboxBinding {
  public:
-  MiddleboxBinding(Middlebox& mbox, net::Socket& downstream, net::Socket& upstream)
+  MiddleboxBinding(Middlebox& mbox, net::Stream& downstream, net::Stream& upstream)
       : mbox_(mbox), down_(downstream), up_(upstream) {
     down_.on_data = [this](ByteView data) {
       mbox_.feed_from_client(data);
@@ -95,7 +125,10 @@ class MiddleboxBinding {
       mbox_.feed_from_server(data);
       flush();
     };
+    down_.on_connect = [this] { flush(); };
     up_.on_connect = [this] { flush(); };
+    down_.on_writable = [this] { flush(); };
+    up_.on_writable = [this] { flush(); };
     // A dead segment on one side must kill the other, so neither endpoint is
     // left talking to a silently absent peer.
     down_.on_close = [this] {
@@ -106,36 +139,38 @@ class MiddleboxBinding {
     };
   }
 
+  /// Take whatever the middlebox produced and push it toward both peers.
+  /// Symmetric buffering: records already taken from the middlebox are
+  /// buffered per direction (`pending_up_`/`pending_down_`) whenever the
+  /// destination is not established or not writable, and drained on the
+  /// connect/writable edges — never silently discarded. (flush() used to
+  /// drop take_to_server()/take_to_client() output on !writable(), and
+  /// buffered only the upstream pre-connect case; real-socket short-write
+  /// backpressure makes that loss deterministic.)
   void flush() {
-    const Bytes to_server = mbox_.take_to_server();
-    if (!to_server.empty() && up_.writable()) {
-      if (up_.established()) {
-        up_.send(to_server);
-      } else {
-        pending_up_ = concat({pending_up_, to_server});
-      }
-    }
-    if (!pending_up_.empty() && up_.established() && up_.writable()) {
-      up_.send(pending_up_);
-      pending_up_.clear();
-    }
-    const Bytes to_client = mbox_.take_to_client();
-    if (!to_client.empty() && down_.writable()) down_.send(to_client);
+    append(pending_up_, mbox_.take_to_server());
+    append(pending_down_, mbox_.take_to_client());
+    drain_or_buffer(up_, pending_up_);
+    drain_or_buffer(down_, pending_down_);
   }
 
   /// Enforce the middlebox's join deadline (demote-to-relay on expiry).
-  void arm_join_deadline(net::Simulator& sim, net::Time timeout) {
+  /// Weak-liveness-guarded like arm_handshake_deadline.
+  void arm_join_deadline(net::Scheduler& sched, net::Time timeout) {
     if (timeout == 0) return;
-    sim.schedule(timeout, [this] {
+    sched.schedule(timeout, [this, alive = std::weak_ptr<const bool>(alive_)] {
+      if (alive.expired()) return;
       if (mbox_.handshake_expired()) flush();
     });
   }
 
  private:
   Middlebox& mbox_;
-  net::Socket& down_;
-  net::Socket& up_;
+  net::Stream& down_;
+  net::Stream& up_;
   Bytes pending_up_;
+  Bytes pending_down_;
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 /// The paper's P5 degradation path as a transport-level policy: dial the
@@ -146,68 +181,83 @@ class MiddleboxBinding {
 class FallbackClient {
  public:
   struct Config {
-    net::NodeId proxy = 0;  // TCP-level middlebox to dial first
-    net::Port proxy_port = 443;
-    net::NodeId origin = 0;  // direct-redial target
-    net::Port origin_port = 443;
+    net::Endpoint proxy;   // TCP-level middlebox to dial first
+    net::Endpoint origin;  // direct-redial target
     ClientSession::Options options;  // options.handshake_timeout paces both dials
   };
 
-  FallbackClient(net::Host& host, Config config) : host_(host), config_(std::move(config)) {}
+  FallbackClient(net::Transport& transport, Config config)
+      : transport_(transport), config_(std::move(config)) {}
+
+  /// Streams are owned by the transport and may outlive this object: drop
+  /// every callback that captured `this` (the deadline timer guards itself
+  /// via the weak token).
+  ~FallbackClient() { unhook(); }
 
   /// Dial the middlebox path and arm the deadline.
-  void start() { dial(config_.proxy, config_.proxy_port, /*announce=*/true); }
+  void start() { dial(config_.proxy, /*announce=*/true); }
 
   /// The currently active session (the direct one after a fallback).
   ClientSession& session() { return *session_; }
   const ClientSession& session() const { return *session_; }
   bool fell_back() const { return fell_back_; }
-  net::Socket& socket() { return *socket_; }
+  net::Stream& socket() { return *socket_; }
 
-  /// Push pending session output to the active socket (call after send()).
+  /// Push pending session output to the active stream (call after send()).
   void flush() {
     if (binding_) binding_->flush();
   }
 
  private:
-  void dial(net::NodeId node, net::Port port, bool announce) {
-    const std::uint64_t attempt = ++attempt_;
-    // Unhook the previous attempt before tearing it down so stale socket
+  void unhook() {
+    // Unhook the previous attempt before tearing it down so stale stream
     // events cannot reach a destroyed binding or session.
     binding_.reset();
     if (socket_) {
       socket_->on_connect = nullptr;
       socket_->on_data = nullptr;
       socket_->on_close = nullptr;
+      socket_->on_error = nullptr;
+      socket_->on_writable = nullptr;
     }
+  }
+
+  void dial(const net::Endpoint& target, bool announce) {
+    const std::uint64_t attempt = ++attempt_;
+    unhook();
     ClientSession::Options opts = config_.options;
     opts.announce_mbtls = announce;
     if (!announce) opts.tls.rng_label += "/fallback";  // fresh randomness on redial
     session_ = std::make_unique<ClientSession>(std::move(opts));
-    socket_ = &host_.connect(node, port);
-    binding_ = std::make_unique<SocketBinding<ClientSession>>(*session_, *socket_);
+    socket_ = &transport_.dial(target);
+    // The start hook goes in *before* the binding so the binding's
+    // constructor chains it ahead of its own pending-drain hook.
     socket_->on_connect = [this] {
       session_->start();
       binding_->flush();
     };
+    binding_ = std::make_unique<SocketBinding<ClientSession>>(*session_, *socket_);
     socket_->on_close = [this, attempt] {
       if (attempt != attempt_) return;
       session_->transport_closed();
       maybe_fall_back();
     };
     if (config_.options.handshake_timeout != 0) {
-      host_.simulator().schedule(config_.options.handshake_timeout, [this, attempt] {
-        if (attempt != attempt_) return;
-        if (session_->handshake_expired()) {
-          binding_->flush();
-          if (socket_->established()) {
-            socket_->close();
-          } else {
-            socket_->reset();
-          }
-          maybe_fall_back();
-        }
-      });
+      transport_.scheduler().schedule(
+          config_.options.handshake_timeout,
+          [this, attempt, alive = std::weak_ptr<const bool>(alive_)] {
+            if (alive.expired()) return;  // client destroyed before the deadline
+            if (attempt != attempt_) return;
+            if (session_->handshake_expired()) {
+              binding_->flush();
+              if (socket_->established()) {
+                socket_->close();
+              } else {
+                socket_->reset();
+              }
+              maybe_fall_back();
+            }
+          });
     }
   }
 
@@ -216,16 +266,17 @@ class FallbackClient {
     fell_back_ = true;
     const trace::Emitter em(config_.options.trace_sink, config_.options.trace_actor);
     em.instant("mbtls", "fallback.redial", {{"attempt", attempt_ + 1}});
-    dial(config_.origin, config_.origin_port, /*announce=*/false);
+    dial(config_.origin, /*announce=*/false);
   }
 
-  net::Host& host_;
+  net::Transport& transport_;
   Config config_;
   std::unique_ptr<ClientSession> session_;
   std::unique_ptr<SocketBinding<ClientSession>> binding_;
-  net::Socket* socket_ = nullptr;
+  net::Stream* socket_ = nullptr;
   std::uint64_t attempt_ = 0;
   bool fell_back_ = false;
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace mbtls::mb

@@ -1,0 +1,54 @@
+// Time and timer scheduling, abstracted over backends.
+//
+// The transport seam (net/transport.h) lets the sans-IO engines run either on
+// the discrete-event simulator (virtual microseconds, deterministic) or on the
+// posix epoll loop (monotonic real microseconds). Everything above the seam —
+// handshake deadlines, join deadlines, retransmit backoff, watchdogs — talks
+// to a `Scheduler` and therefore cannot tell which clock is underneath: the
+// same `schedule(timeout, fn)` call arms a simulator event or a timer-wheel
+// slot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mbtls::net {
+
+using Time = std::uint64_t;  // microseconds (virtual or monotonic real time)
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000;
+constexpr Time kSecond = 1000 * 1000;
+
+/// Why a run() call returned. Callers that care about liveness (the chaos
+/// harness, negative-path tests) must distinguish a drained queue from the
+/// runaway guard tripping; callers that don't may ignore the result.
+enum class RunStatus {
+  kDrained,          // event queue is empty (sim) / no open streams or timers (posix)
+  kDeadlineReached,  // run_until: clock advanced to the deadline
+  kBudgetExhausted,  // max_events fired with work still queued (runaway?)
+};
+
+/// A monotonic clock. Virtual time on the simulator, CLOCK_MONOTONIC
+/// microseconds since loop construction on the posix backend — both start
+/// near zero and never go backwards.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Time now() const = 0;
+};
+
+/// A clock that can also run callbacks later. `fn` runs `delay` microseconds
+/// from now, on the thread driving the owning event loop; callbacks scheduled
+/// for the same instant run in scheduling order (FIFO).
+///
+/// There is deliberately no cancellation: a callback that may outlive the
+/// object it touches must carry its own liveness guard (see the weak-token
+/// pattern in mbtls/transport.h) — that keeps both backends' timer stores
+/// trivial and the semantics identical.
+class Scheduler : public Clock {
+ public:
+  virtual void schedule(Time delay, std::function<void()> fn) = 0;
+};
+
+}  // namespace mbtls::net

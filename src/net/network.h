@@ -16,13 +16,11 @@
 
 #include "crypto/drbg.h"
 #include "net/simulator.h"
+#include "net/transport.h"
 #include "util/bytes.h"
 #include "util/trace.h"
 
 namespace mbtls::net {
-
-using NodeId = std::uint32_t;
-using Port = std::uint16_t;
 
 /// TCP segment flags.
 struct TcpFlags {

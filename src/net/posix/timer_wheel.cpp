@@ -1,0 +1,84 @@
+#include "net/posix/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mbtls::net::posix {
+
+void TimerWheel::schedule(Time now_us, Time delay_us, std::function<void()> fn) {
+  // Round up to the next tick boundary and never land on or before the
+  // current tick: schedule(0) fires on the next advance, not reentrantly.
+  std::uint64_t expiry = (now_us + delay_us + tick_us_ - 1) / tick_us_;
+  expiry = std::max(expiry, current_tick_ + 1);
+  place({expiry, std::move(fn)});
+  ++pending_;
+}
+
+void TimerWheel::place(Timer timer) {
+  const std::uint64_t delta = timer.expiry_tick - current_tick_;  // >= 1
+  int level = 0;
+  while (level < kLevels - 1 && delta >= (std::uint64_t{1} << (kSlotBits * (level + 1)))) {
+    ++level;
+  }
+  const std::uint64_t idx = (timer.expiry_tick >> (kSlotBits * level)) & (kSlots - 1);
+  slots_[level][idx].push_back(std::move(timer));
+}
+
+std::size_t TimerWheel::fire_slot(std::vector<Timer>& slot) {
+  // Swap the slot out first: callbacks may schedule into this very slot (a
+  // periodic timer re-arming itself) and must not be fired this round.
+  std::vector<Timer> due;
+  due.swap(slot);
+  std::size_t fired = 0;
+  for (auto& t : due) {
+    if (t.expiry_tick > current_tick_) {  // future wrap that shares the slot
+      place(std::move(t));
+      continue;
+    }
+    --pending_;
+    ++fired;
+    auto fn = std::move(t.fn);
+    fn();
+  }
+  return fired;
+}
+
+std::size_t TimerWheel::advance(Time now_us) {
+  const std::uint64_t target = now_us / tick_us_;
+  std::size_t fired = 0;
+  while (current_tick_ < target) {
+    if (pending_ == 0) {  // big idle jumps cost nothing
+      current_tick_ = target;
+      break;
+    }
+    ++current_tick_;
+    // On each level's wrap boundary, cascade its current slot down: place()
+    // re-buckets by the now-smaller remaining delta, so near-due timers land
+    // in level 0 and fire below.
+    for (int level = 1; level < kLevels; ++level) {
+      if (current_tick_ & ((std::uint64_t{1} << (kSlotBits * level)) - 1)) break;
+      const std::uint64_t idx = (current_tick_ >> (kSlotBits * level)) & (kSlots - 1);
+      std::vector<Timer> moved;
+      moved.swap(slots_[level][idx]);
+      for (auto& t : moved) place(std::move(t));
+    }
+    fired += fire_slot(slots_[0][current_tick_ & (kSlots - 1)]);
+  }
+  return fired;
+}
+
+Time TimerWheel::time_until_next(Time now_us, Time cap_us) const {
+  if (pending_ == 0) return cap_us;
+  const std::uint64_t max_ticks =
+      std::min<std::uint64_t>(kSlots - 1, cap_us / tick_us_ + 1);
+  for (std::uint64_t d = 1; d <= max_ticks; ++d) {
+    const std::uint64_t tick = current_tick_ + d;
+    if (!slots_[0][tick & (kSlots - 1)].empty()) {
+      const Time due_us = tick * tick_us_;
+      return due_us <= now_us ? 0 : std::min(cap_us, due_us - now_us);
+    }
+  }
+  return cap_us;  // nothing in level 0: everything pending is >= 64 ticks out
+}
+
+}  // namespace mbtls::net::posix

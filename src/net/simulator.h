@@ -10,31 +10,20 @@
 #include <queue>
 #include <vector>
 
+#include "net/clock.h"
+
 namespace mbtls::net {
 
-using Time = std::uint64_t;  // microseconds of virtual time
-
-constexpr Time kMicrosecond = 1;
-constexpr Time kMillisecond = 1000;
-constexpr Time kSecond = 1000 * 1000;
-
-/// Why a run() call returned. Callers that care about liveness (the chaos
-/// harness, negative-path tests) must distinguish a drained queue from the
-/// runaway guard tripping; callers that don't may ignore the result.
-enum class RunStatus {
-  kDrained,           // event queue is empty
-  kDeadlineReached,   // run_until: clock advanced to the deadline
-  kBudgetExhausted,   // max_events fired with work still queued (runaway?)
-};
-
-class Simulator {
+/// The virtual-time Scheduler backend (see net/clock.h; the posix epoll loop
+/// is the real-time one).
+class Simulator : public Scheduler {
  public:
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
 
   /// Schedule `fn` to run `delay` microseconds from now. Events scheduled at
   /// the same instant run in scheduling order (FIFO), which keeps runs
   /// reproducible.
-  void schedule(Time delay, std::function<void()> fn);
+  void schedule(Time delay, std::function<void()> fn) override;
 
   /// Run until the event queue drains or `max_events` fire (runaway guard).
   /// Returns kDrained or kBudgetExhausted — a budget-exhausted run leaves the

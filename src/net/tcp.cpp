@@ -28,6 +28,11 @@ void Host::listen(Port port, AcceptHandler handler) {
 
 void Host::stop_listening(Port port) { listeners_.erase(port); }
 
+Port Host::listen_stream(Port port, StreamHandler on_accept) {
+  listen(port, [handler = std::move(on_accept)](Socket& s) { handler(s); });
+  return port;
+}
+
 Socket& Host::new_socket() {
   sockets_.push_back(std::unique_ptr<Socket>(new Socket(*this)));
   return *sockets_.back();
@@ -317,11 +322,20 @@ void Socket::handle_segment(const Packet& p) {
     send_ack();
   }
 
-  // FIN processing (only once all preceding data has arrived).
+  // FIN processing (only once all preceding data has arrived). A peer FIN
+  // tears the whole connection down, exactly as on the posix backend (where
+  // become_closed drops the fd, which emits our FIN): if we haven't FINed
+  // yet, answer with one so the active closer also reaches closed() instead
+  // of parking in FinWait forever.
   if (p.flags.fin && !peer_fin_seen_ && p.seq <= rcv_nxt_) {
     peer_fin_seen_ = true;
     rcv_nxt_ = p.seq + 1;
-    send_ack();
+    if (!fin_sent_) {
+      send_segment(TcpFlags{.ack = true, .fin = true}, snd_nxt_, {});
+      fin_sent_ = true;
+    } else {
+      send_ack();
+    }
     become_closed();
   }
 }

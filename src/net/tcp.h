@@ -17,46 +17,33 @@ namespace mbtls::net {
 
 class Host;
 
-/// Why a socket reached kClosed. Anything but kNone is an abnormal teardown
-/// the application must treat as an error, not a clean shutdown.
-enum class SocketError : std::uint8_t {
-  kNone,                 // still open, or clean FIN teardown
-  kPeerReset,            // peer aborted with RST
-  kRetransmitExhausted,  // peer unreachable: backoff rounds all timed out
-};
-
-/// A reliable byte-stream endpoint. Obtained from Host::connect or a listener
-/// accept callback. Owned by the Host; pointers stay valid for the Host's
-/// lifetime.
-class Socket {
+/// The simulator's reliable byte-stream endpoint (see net/transport.h for
+/// the Stream contract and the posix counterpart). Obtained from
+/// Host::connect or a listener accept callback. Owned by the Host; pointers
+/// stay valid for the Host's lifetime.
+class Socket final : public Stream {
  public:
   /// Queue bytes for transmission.
-  void send(ByteView data);
+  void send(ByteView data) override;
 
   /// Half-close: sends FIN after all queued data.
-  void close();
+  void close() override;
 
   /// Abort: sends RST and drops all state.
-  void reset();
+  void reset() override;
 
-  bool established() const { return state_ == State::kEstablished; }
-  bool closed() const { return state_ == State::kClosed; }
-  /// send() is legal: not closed and no FIN queued. Lets applications drop
-  /// output that raced a teardown instead of tripping the send() guard.
-  bool writable() const { return state_ != State::kClosed && !fin_queued_; }
+  bool established() const override { return state_ == State::kEstablished; }
+  bool closed() const override { return state_ == State::kClosed; }
+  /// send() is legal: not closed and no FIN queued. The simulated network
+  /// never backpressures, so this only goes false on teardown.
+  bool writable() const override { return state_ != State::kClosed && !fin_queued_; }
 
   /// Terminal error cause; valid once closed() (kNone = clean teardown).
-  SocketError error() const { return error_; }
+  SocketError error() const override { return error_; }
 
   NodeId remote_node() const { return remote_node_; }
   Port remote_port() const { return remote_port_; }
   Port local_port() const { return local_port_; }
-
-  // Application callbacks.
-  std::function<void()> on_connect;
-  std::function<void(ByteView)> on_data;
-  std::function<void()> on_close;             // peer FIN/RST or local give-up
-  std::function<void(SocketError)> on_error;  // abnormal teardown, before on_close
 
  private:
   friend class Host;
@@ -109,8 +96,9 @@ class Socket {
 };
 
 /// Per-node transport endpoint: owns sockets and listeners, and plugs into
-/// the Network's delivery path for its node.
-class Host {
+/// the Network's delivery path for its node. Implements the backend-agnostic
+/// Transport seam on top of the simulated network.
+class Host final : public Transport {
  public:
   Host(Network& network, NodeId node);
 
@@ -121,6 +109,12 @@ class Host {
   /// Open a connection; returns immediately, `on_connect` fires when the
   /// handshake completes.
   Socket& connect(NodeId remote, Port remote_port);
+
+  // Transport seam (net/transport.h). `Endpoint::node` addresses the peer;
+  // `Endpoint::address` is ignored on this backend.
+  Stream& dial(const Endpoint& remote) override { return connect(remote.node, remote.port); }
+  Port listen_stream(Port port, StreamHandler on_accept) override;
+  Scheduler& scheduler() override { return simulator(); }
 
   NodeId node() const { return node_; }
   Network& network() { return network_; }

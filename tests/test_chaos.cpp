@@ -468,8 +468,8 @@ TEST(Chaos, StalledMiddleboxFallsBackToDirectTls) {
   });
 
   FallbackClient::Config config;
-  config.proxy = rig.nm;
-  config.origin = rig.ns;
+  config.proxy = {rig.nm, 443, ""};
+  config.origin = {rig.ns, 443, ""};
   config.options.tls.trust_anchors = {test_ca().root()};
   config.options.tls.server_name = "chaos.example";
   config.options.tls.rng_seed = 13;

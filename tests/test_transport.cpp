@@ -71,12 +71,11 @@ std::unique_ptr<Parties> wire_up(WanRig& rig, std::uint64_t seed) {
     p->mbox_binding = std::make_unique<MiddleboxBinding>(p->mbox, downstream, upstream);
   });
   Socket& client_socket = rig.client_host->connect(rig.nm, 443);
+  // Install the start hook first; the binding's constructor chains it ahead
+  // of its own pending-drain hook.
+  client_socket.on_connect = [p = parties.get()] { p->client.start(); };
   parties->client_binding =
       std::make_unique<SocketBinding<ClientSession>>(parties->client, client_socket);
-  client_socket.on_connect = [p = parties.get()] {
-    p->client.start();
-    p->client_binding->flush();
-  };
   return parties;
 }
 
@@ -166,11 +165,8 @@ TEST(Transport, LegacyRelayOverTcp) {
     mbox_binding = std::make_unique<MiddleboxBinding>(mbox, downstream, upstream);
   });
   Socket& client_socket = rig.client_host->connect(rig.nm, 443);
+  client_socket.on_connect = [&] { client.start(); };
   SocketBinding<tls::Engine> client_binding(client, client_socket);
-  client_socket.on_connect = [&] {
-    client.start();
-    client_binding.flush();
-  };
   rig.sim.run();
   ASSERT_TRUE(client.handshake_done()) << client.error_message();
   EXPECT_TRUE(mbox.relay_mode());
@@ -178,6 +174,211 @@ TEST(Transport, LegacyRelayOverTcp) {
   client_binding.flush();
   rig.sim.run();
   EXPECT_EQ(to_string(server.take_plaintext()), "plain tls through relay");
+}
+
+// ---------------------------------------------------------------------------
+// Transport-glue regressions, driven through a scriptable Stream double so
+// each bug's exact trigger (a transient !writable(), a pre-installed
+// on_connect, a binding destroyed before its timer) can be staged directly.
+
+/// A Stream whose readiness flags are test-controlled and whose sends are
+/// recorded verbatim.
+struct FakeStream final : net::Stream {
+  bool is_established = false;
+  bool is_closed = false;
+  bool is_writable = true;
+  Bytes sent;
+
+  void send(ByteView data) override { append(sent, data); }
+  void close() override { become_closed(); }
+  void reset() override { become_closed(); }
+  bool established() const override { return is_established; }
+  bool closed() const override { return is_closed; }
+  bool writable() const override { return !is_closed && is_writable; }
+  SocketError error() const override { return SocketError::kNone; }
+
+  void establish() {
+    is_established = true;
+    if (on_connect) on_connect();
+  }
+  void deliver(ByteView data) {
+    if (on_data) on_data(data);
+  }
+  void unblock() {
+    is_writable = true;
+    if (on_writable) on_writable();
+  }
+  void become_closed() {
+    if (is_closed) return;
+    is_closed = true;
+    is_established = false;
+    if (on_close) on_close();
+  }
+};
+
+tls::Engine make_test_client() {
+  tls::Config cfg;
+  cfg.is_client = true;
+  cfg.trust_anchors = {test_ca().root()};
+  cfg.server_name = "glue.example";
+  return tls::Engine(cfg);
+}
+
+TEST(TransportGlue, SocketBindingBuffersUntilWritable) {
+  // Regression: flush() used to hand take_output() to send() regardless of
+  // writability — over real sockets a backpressured destination lost the
+  // record. The binding must hold the bytes and drain on the writable edge.
+  auto client = make_test_client();
+  FakeStream stream;
+  stream.is_established = true;
+  stream.is_writable = false;
+  SocketBinding<tls::Engine> binding(client, stream);
+  client.start();
+  binding.flush();
+  EXPECT_TRUE(stream.sent.empty());  // buffered, not dropped
+  stream.unblock();
+  EXPECT_FALSE(stream.sent.empty());  // ClientHello arrives intact
+}
+
+TEST(TransportGlue, SocketBindingChainsPriorConnectHandler) {
+  // Regression: flush() used to reassign on_connect on every
+  // pre-establishment call, silently clobbering a start-the-session handler
+  // installed by the application. The constructor now chains it once.
+  auto client = make_test_client();
+  FakeStream stream;
+  int started = 0;
+  stream.on_connect = [&] { ++started; };
+  SocketBinding<tls::Engine> binding(client, stream);
+  client.start();
+  binding.flush();               // pre-establishment: output is buffered
+  binding.flush();               // a second flush must not clobber the chain
+  EXPECT_TRUE(stream.sent.empty());
+  stream.establish();
+  EXPECT_EQ(started, 1);              // the prior handler still ran
+  EXPECT_FALSE(stream.sent.empty());  // and the drain hook ran after it
+}
+
+TEST(TransportGlue, SocketBindingDropsPendingOnClose) {
+  auto client = make_test_client();
+  FakeStream stream;
+  SocketBinding<tls::Engine> binding(client, stream);
+  client.start();
+  binding.flush();  // buffered: never established
+  stream.become_closed();
+  binding.flush();  // must not send() into a closed stream
+  EXPECT_TRUE(stream.sent.empty());
+}
+
+Middlebox make_relay_mbox() {
+  const auto mbox_id = make_identity("glueproxy.example");
+  Middlebox::Options mopts;
+  mopts.name = "glueproxy.example";
+  mopts.side = Middlebox::Side::kClientSide;
+  mopts.private_key = mbox_id.key;
+  mopts.certificate_chain = mbox_id.chain;
+  mopts.peer_known_legacy = true;  // forced relay: bytes pass through verbatim
+  return Middlebox(std::move(mopts));
+}
+
+TEST(TransportGlue, MiddleboxBuffersUpstreamOnBackpressure) {
+  // Regression: flush() silently discarded take_to_server() output when the
+  // upstream socket existed but was not writable (real-socket short-write
+  // backpressure). The record must be buffered and drained on the edge.
+  auto mbox = make_relay_mbox();
+  FakeStream down, up;
+  down.is_established = true;
+  up.is_established = true;
+  up.is_writable = false;
+  MiddleboxBinding binding(mbox, down, up);
+  down.deliver(to_bytes(std::string_view("client flight")));
+  EXPECT_TRUE(up.sent.empty());  // held, not lost
+  up.unblock();
+  EXPECT_EQ(to_string(up.sent), "client flight");
+}
+
+TEST(TransportGlue, MiddleboxBuffersDownstreamOnBackpressure) {
+  // The symmetric direction — take_to_client() toward a non-writable
+  // downstream — had no buffer at all.
+  auto mbox = make_relay_mbox();
+  FakeStream down, up;
+  down.is_established = true;
+  down.is_writable = false;
+  up.is_established = true;
+  MiddleboxBinding binding(mbox, down, up);
+  up.deliver(to_bytes(std::string_view("server flight")));
+  EXPECT_TRUE(down.sent.empty());
+  down.unblock();
+  EXPECT_EQ(to_string(down.sent), "server flight");
+}
+
+TEST(TransportGlue, MiddleboxAccumulatesWhileBlocked) {
+  // Multiple records arriving while blocked drain in order as one stream.
+  auto mbox = make_relay_mbox();
+  FakeStream down, up;
+  down.is_established = true;
+  up.is_established = true;
+  up.is_writable = false;
+  MiddleboxBinding binding(mbox, down, up);
+  down.deliver(to_bytes(std::string_view("first ")));
+  down.deliver(to_bytes(std::string_view("second")));
+  EXPECT_TRUE(up.sent.empty());
+  up.unblock();
+  EXPECT_EQ(to_string(up.sent), "first second");
+}
+
+TEST(TransportGlue, HandshakeDeadlineTimerOutlivesBinding) {
+  // Regression: arm_handshake_deadline() captured raw `this`; a binding
+  // destroyed before the timer fired (the FallbackClient redial pattern)
+  // left a dangling callback in the scheduler. The weak liveness token makes
+  // the late firing a no-op — ASan (this test runs under the asan preset via
+  // scripts/check.sh) would flag the old heap-use-after-free.
+  Simulator sim;
+  auto stream = std::make_unique<FakeStream>();
+  {
+    ClientSession::Options copts;
+    copts.tls.trust_anchors = {test_ca().root()};
+    copts.tls.server_name = "glue.example";
+    copts.tls.rng_seed = 41;
+    ClientSession client(std::move(copts));
+    SocketBinding<ClientSession> binding(client, *stream);
+    binding.arm_handshake_deadline(sim, kSecond);
+  }  // binding destroyed; its timer is still queued
+  stream.reset();
+  EXPECT_EQ(sim.run(), RunStatus::kDrained);  // fires as a guarded no-op
+}
+
+TEST(TransportGlue, JoinDeadlineTimerOutlivesBinding) {
+  Simulator sim;
+  auto down = std::make_unique<FakeStream>();
+  auto up = std::make_unique<FakeStream>();
+  {
+    auto mbox = make_relay_mbox();
+    MiddleboxBinding binding(mbox, *down, *up);
+    binding.arm_join_deadline(sim, kSecond);
+  }
+  down.reset();
+  up.reset();
+  EXPECT_EQ(sim.run(), RunStatus::kDrained);
+}
+
+TEST(TransportGlue, FallbackDeadlineTimerOutlivesClient) {
+  // The same liveness rule for FallbackClient's own deadline timer, plus its
+  // destructor unhooking every stream callback: destroying the client right
+  // after start() must leave the simulator free of dangling references.
+  WanRig rig;
+  rig.mbox_host->listen(443, [](Socket&) {});  // accept and ignore
+  {
+    FallbackClient::Config config;
+    config.proxy = {rig.nm, 443, ""};
+    config.origin = {rig.ns, 443, ""};
+    config.options.tls.trust_anchors = {test_ca().root()};
+    config.options.tls.server_name = "wan.example";
+    config.options.tls.rng_seed = 19;
+    config.options.handshake_timeout = kSecond;
+    FallbackClient fallback(*rig.client_host, config);
+    fallback.start();
+  }  // destroyed with the dial and the deadline in flight
+  EXPECT_EQ(rig.sim.run(), RunStatus::kDrained);
 }
 
 }  // namespace
