@@ -8,6 +8,10 @@
 #   scripts/bench.sh --quick         # tiny budgets (CI / smoke)
 #   scripts/bench.sh --c10k          # additionally run the real-socket
 #                                    # C10K harness -> BENCH_c10k.json
+#   scripts/bench.sh --churn         # additionally run the control-plane
+#                                    # churn harness -> BENCH_churn.json
+#                                    # (enforces: resumed handshakes >= 5x
+#                                    # full rate; cert-pool hit >= 90%)
 #   scripts/bench.sh --out DIR       # write the JSON files elsewhere
 #   scripts/bench.sh --backend B     # pin the crypto backend (auto|scalar|aesni)
 #                                    # via MBTLS_CRYPTO_BACKEND for every binary
@@ -28,14 +32,16 @@ cd "$repo_root"
 out_dir="$repo_root"
 quick=0
 c10k=0
+churn=0
 backend=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1; shift ;;
     --c10k) c10k=1; shift ;;
+    --churn) churn=1; shift ;;
     --out) out_dir="$2"; shift 2 ;;
     --backend) backend="$2"; shift 2 ;;
-    *) echo "usage: scripts/bench.sh [--quick] [--c10k] [--out DIR] [--backend auto|scalar|aesni]" >&2; exit 2 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--c10k] [--churn] [--out DIR] [--backend auto|scalar|aesni]" >&2; exit 2 ;;
   esac
 done
 mkdir -p "$out_dir"
@@ -50,6 +56,7 @@ echo "=== bench: configure + build (Release) ==="
 cmake --preset default >/dev/null
 targets=(bench_microcrypto bench_fig5_handshake_cpu bench_fig7_sgx_throughput)
 [[ "$c10k" == 1 ]] && targets+=(bench_c10k)
+[[ "$churn" == 1 ]] && targets+=(bench_churn)
 cmake --build --preset default -j "$jobs" --target "${targets[@]}"
 
 micro_args=()
@@ -90,10 +97,21 @@ if [[ "$c10k" == 1 ]]; then
   ./build/bench/bench_c10k "${c10k_args[@]}" --json "$out_dir/BENCH_c10k.json"
 fi
 
+if [[ "$churn" == 1 ]]; then
+  echo
+  echo "=== bench_churn (session cache + tickets + cert pool under churn) ==="
+  churn_args=()
+  [[ "$quick" == 1 ]] && churn_args=(--quick)  # 6 clients x 5 sessions, 40 origins
+  ./build/bench/bench_churn "${churn_args[@]}" --json "$out_dir/BENCH_churn.json"
+fi
+
 echo
 echo "wrote: $out_dir/BENCH_micro.json $out_dir/BENCH_fig5.json $out_dir/BENCH_fig7.json $out_dir/BENCH_fig7_scaling.json"
 if [[ "$c10k" == 1 ]]; then
   echo "wrote: $out_dir/BENCH_c10k.json"
+fi
+if [[ "$churn" == 1 ]]; then
+  echo "wrote: $out_dir/BENCH_churn.json"
 fi
 grep -o '"backend":"[^"]*","cpu_features":"[^"]*"' "$out_dir/BENCH_micro.json" \
   | sed 's/^/recorded /' || true

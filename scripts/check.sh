@@ -52,8 +52,10 @@ ctest --preset default -R 'Chaos\.' --output-on-failure
 step "trace: protocol-invariant pass (ctest -R TraceInvariants)"
 ctest --preset default -R 'TraceInvariants\.' --output-on-failure
 
-step "bench: quick run + JSON emission (scripts/bench.sh --quick)"
-scripts/bench.sh --quick --out /tmp/mbtls-bench-check
+step "bench: quick run + JSON emission (scripts/bench.sh --quick --churn)"
+# --churn smokes the control-plane harness too: sharded cache + ticket
+# rotation + cert pool, with the resumed>=5x and cert-hit>=90% floors on.
+scripts/bench.sh --quick --churn --out /tmp/mbtls-bench-check
 
 # The multi-core data plane is the only concurrent subsystem; its tests
 # (pool semantics + the parallel-vs-serial byte-identical cross-check) run
@@ -62,11 +64,17 @@ scripts/bench.sh --quick --out /tmp/mbtls-bench-check
 step "tsan: build concurrency tests"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" --target test_workpool test_posix_loopback \
-  test_transport_conformance
+  test_transport_conformance test_control_plane
 
 step "tsan: WorkPool / ReprotectPipeline / DrbgThreading"
 ctest --preset tsan -R 'SpscRing\.|WorkPool\.|ReprotectPipeline\.|DrbgThreading\.' \
   --output-on-failure
+
+# The control-plane caches (sharded session cache, cert pool, quote cache,
+# ticket key rotation) are hit from the worker pool while the main thread
+# rotates keys — the mutex-striping and atomic counters must hold up.
+step "tsan: control-plane shard hammer"
+ctest --preset tsan -R 'ControlPlaneConcurrency\.' --output-on-failure
 
 # The loopback integration test drives three epoll loops on three threads —
 # the only place transport code runs multi-threaded — and the conformance

@@ -140,6 +140,8 @@ void ServerSession::start_pending_secondaries() {
       cfg.rng_label = options_.tls.rng_label + "/secondary" + std::to_string(sub);
       cfg.rng_seed = options_.tls.rng_seed;
       cfg.session_cache = options_.tls.session_cache;
+      cfg.cert_pool = options_.tls.cert_pool;
+      cfg.quote_verifier = options_.tls.quote_verifier;
       cfg.resumption_cache_key = "mbtls-secondary-" + std::to_string(sub);
       cfg.secret_store = options_.tls.secret_store;
       cfg.secret_prefix = options_.tls.secret_prefix + "mbox" + std::to_string(sub) + "/";

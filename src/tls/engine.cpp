@@ -2,6 +2,7 @@
 
 #include "crypto/gcm.h"
 #include "crypto/sha2.h"
+#include "tls/ticket.h"
 #include "ec/ecdh.h"
 #include "util/ct.h"
 #include "util/hex.h"
@@ -249,6 +250,9 @@ void Engine::handle_handshake_message(const HandshakeMsg& msg) {
 
 Bytes Engine::make_ticket(const SessionState& state) {
   const Bytes plain = encode_ticket_state(state);
+  if (config_.ticket_keys) {
+    return config_.ticket_keys->seal(plain);
+  }
   if (config_.ticket_key.empty() && config_.enclave) {
     return config_.enclave->seal(plain);
   }
@@ -259,16 +263,23 @@ Bytes Engine::make_ticket(const SessionState& state) {
   return concat({iv, gcm.seal(iv, {}, plain)});
 }
 
-std::optional<SessionState> Engine::open_ticket(ByteView ticket) const {
+std::optional<SessionState> Engine::open_ticket(ByteView ticket, bool* stale_key) const {
   std::optional<Bytes> plain;
-  if (config_.ticket_key.empty() && config_.enclave) {
+  if (config_.ticket_keys) {
+    if (auto opened = config_.ticket_keys->unseal(ticket)) {
+      if (stale_key) *stale_key = opened->stale;
+      plain = std::move(opened->plaintext);
+    }
+  } else if (config_.ticket_key.empty() && config_.enclave) {
     plain = config_.enclave->unseal(ticket);
   } else if (config_.ticket_key.size() == 32 && ticket.size() > 12) {
     const crypto::AesGcm gcm(config_.ticket_key);
     plain = gcm.open(ticket.first(12), {}, ticket.subspan(12));
   }
   if (!plain) return std::nullopt;
-  return decode_ticket_state(*plain);
+  auto state = decode_ticket_state(*plain);
+  secure_wipe(*plain);
+  return state;
 }
 
 void Engine::handle_new_session_ticket(const HandshakeMsg& msg) {
@@ -409,13 +420,26 @@ void Engine::handle_certificate(const HandshakeMsg& msg) {
   if (cert_msg.chain_der.empty())
     throw ProtocolError(AlertDescription::kBadCertificate, "empty certificate chain");
 
-  std::vector<x509::Certificate> chain;
+  // With a cert pool attached, identical DER blobs (the common case at
+  // scale: every session to an origin sees the same chain) resolve to one
+  // shared parsed Certificate instead of a fresh parse per handshake.
+  std::vector<std::shared_ptr<const x509::Certificate>> pooled;
+  std::vector<x509::Certificate> owned;
+  std::vector<const x509::Certificate*> chain;
   try {
-    for (const auto& der : cert_msg.chain_der) chain.push_back(x509::Certificate::parse(der));
+    for (const auto& der : cert_msg.chain_der) {
+      if (config_.cert_pool) {
+        pooled.push_back(config_.cert_pool->intern(der));
+      } else {
+        owned.push_back(x509::Certificate::parse(der));
+      }
+    }
   } catch (const DecodeError&) {
     throw ProtocolError(AlertDescription::kBadCertificate, "unparseable certificate");
   }
-  peer_certificate_ = chain.front();
+  for (const auto& cert : pooled) chain.push_back(cert.get());
+  for (const auto& cert : owned) chain.push_back(&cert);
+  peer_certificate_ = *chain.front();
 
   if (config_.verify_peer_certificate) {
     const x509::VerifyOptions opts{config_.now, config_.server_name};
@@ -463,7 +487,12 @@ void Engine::handle_sgx_attestation(const HandshakeMsg& msg) {
   const SgxAttestationMsg att = SgxAttestationMsg::parse(msg.body);
   const auto quote = sgx::Enclave::QuoteData::decode(att.quote);
   if (!quote) throw ProtocolError(AlertDescription::kDecodeError, "malformed attestation quote");
-  if (!sgx::verify_quote(quote->measurement, quote->report_data, quote->signature))
+  const bool quote_ok =
+      config_.quote_verifier
+          ? config_.quote_verifier->verify(quote->measurement, quote->report_data,
+                                           quote->signature)
+          : sgx::verify_quote(quote->measurement, quote->report_data, quote->signature);
+  if (!quote_ok)
     throw ProtocolError(AlertDescription::kDecryptError, "attestation signature invalid");
   // Freshness: the quote must bind this handshake's transcript (through the
   // ServerKeyExchange) — a replayed quote from another handshake fails here.
@@ -550,9 +579,15 @@ void Engine::handle_client_hello(const HandshakeMsg& msg) {
   if (config_.enable_session_tickets) {
     if (const auto* ext = hello.find_extension(kExtSessionTicket)) {
       if (!ext->data.empty()) {
-        if (auto state = open_ticket(ext->data); state && state->suite == suite_->id) {
+        bool stale_key = false;
+        if (auto state = open_ticket(ext->data, &stale_key);
+            state && state->suite == suite_->id) {
           // Echo the client's session-ID marker so it recognizes resumption.
           state->session_id = hello.session_id;
+          // Ticket sealed under the previous (soon-to-retire) rotation key:
+          // resume now, but reissue under the current key inside the
+          // abbreviated flight so the next connection also resumes.
+          should_issue_ticket_ = stale_key;
           send_server_resumption_flight(*state);
           return;
         }
@@ -638,6 +673,19 @@ void Engine::send_server_resumption_flight(const SessionState& session) {
   hello.session_id = session_id_;
   hello.cipher_suite = static_cast<std::uint16_t>(suite_->id);
   emit_handshake(HandshakeType::kServerHello, hello.encode_body());
+
+  // RFC 5077 §3.3: the abbreviated handshake may carry a NewSessionTicket
+  // between ServerHello and ChangeCipherSpec. Used on ticket-key rotation to
+  // replace a ticket that authenticated under the outgoing key.
+  if (should_issue_ticket_) {
+    SessionState reissue;
+    reissue.suite = suite_->id;
+    reissue.master_secret = master_secret_;
+    Writer nst;
+    nst.u32(7200);  // lifetime hint, seconds
+    nst.vec16(make_ticket(reissue));
+    emit_handshake(HandshakeType::kNewSessionTicket, nst.buffer());
+  }
 
   derive_key_block_once();
   send_ccs_and_finished();
@@ -753,6 +801,11 @@ void Engine::finish_handshake() {
     session.suite = suite_->id;
     session.master_secret = master_secret_;
     session.ticket = received_ticket_;
+    // A resumed handshake without a fresh NewSessionTicket leaves the
+    // offered ticket valid (RFC 5077 tickets are multi-use): keep it so the
+    // client stays on the abbreviated path for every future connection.
+    if (session.ticket.empty() && resumed_ && offered_session_)
+      session.ticket = offered_session_->ticket;
     if (config_.is_client) {
       const std::string& key = config_.resumption_cache_key.empty() ? config_.server_name
                                                                     : config_.resumption_cache_key;

@@ -38,6 +38,27 @@
 
 namespace mbtls::tls {
 
+class TicketKeyManager;
+
+/// Dedup pool for parsed certificates (implemented by mb::CertPool): the
+/// engine interns each DER blob instead of re-parsing it, so a fleet of
+/// sessions seeing the same chains shares one parsed copy per certificate.
+class CertIntern {
+ public:
+  virtual ~CertIntern() = default;
+  virtual std::shared_ptr<const x509::Certificate> intern(ByteView der) = 0;
+};
+
+/// Attestation-quote verification hook (implemented by mb::QuoteVerifyCache):
+/// memoizes sgx::verify_quote so identical quotes — middlebox fleets present
+/// the same measurement-bound quote to many verifiers — cost one ECDSA
+/// verification process-wide instead of one per handshake.
+class QuoteVerifier {
+ public:
+  virtual ~QuoteVerifier() = default;
+  virtual bool verify(ByteView measurement, ByteView report_data, ByteView signature) = 0;
+};
+
 /// Exported connection protection state (the "bridge key" of Figure 4).
 struct ConnectionKeys {
   CipherSuite suite{};
@@ -85,6 +106,17 @@ struct Config {
   // session ticket".
   bool enable_session_tickets = false;
   Bytes ticket_key;  // 32 bytes; empty = derive from enclave (or refuse)  // lint: secret
+  // Scale-out alternative to the fixed `ticket_key`: a process-wide rotating
+  // key manager (src/tls/ticket.h). Takes precedence when set. Tickets
+  // sealed under the manager's previous key still resume but trigger a
+  // fresh NewSessionTicket in the abbreviated flight, so clients ride
+  // across rotations without ever falling off the fast path.
+  TicketKeyManager* ticket_keys = nullptr;
+
+  // Control-plane caches (src/mbtls/cache.h). Both optional; null = the
+  // uncached per-handshake work (parse every chain, verify every quote).
+  CertIntern* cert_pool = nullptr;
+  QuoteVerifier* quote_verifier = nullptr;
 
   // SGX attestation (extended handshake, §3.4).
   sgx::Enclave* enclave = nullptr;     // if set: attest when asked, keys live in enclave
@@ -279,7 +311,10 @@ class Engine {
 
   // Ticket plumbing.
   Bytes make_ticket(const SessionState& state);
-  std::optional<SessionState> open_ticket(ByteView ticket) const;
+  /// `stale_key`, when non-null, is set if the ticket authenticated under a
+  /// rotated (previous-generation) key — resumption proceeds, but the server
+  /// reissues a fresh ticket.
+  std::optional<SessionState> open_ticket(ByteView ticket, bool* stale_key = nullptr) const;
   void handle_new_session_ticket(const HandshakeMsg& msg);
   std::optional<SessionState> offered_session_;  // what the client hopes to resume
   bool should_issue_ticket_ = false;

@@ -46,19 +46,27 @@ Bytes encode_ticket_state(const SessionState& state);
 std::optional<SessionState> decode_ticket_state(ByteView data);
 
 /// Server-side cache keyed by session ID; client-side keyed by peer name.
+///
+/// The methods are virtual so scale-out implementations (the sharded,
+/// bounded, thread-safe cache in src/mbtls/cache.h) slot into the same
+/// Config::session_cache pointer the engine already consults. This default
+/// implementation is the unbounded single-threaded map the unit tests and
+/// single-connection simulations use.
 class SessionCache {
  public:
-  void store_by_id(const SessionState& state);
-  std::optional<SessionState> lookup_by_id(ByteView session_id) const;
+  virtual ~SessionCache() = default;
 
-  void store_by_peer(const std::string& peer, const SessionState& state);
-  std::optional<SessionState> lookup_by_peer(const std::string& peer) const;
+  virtual void store_by_id(const SessionState& state);
+  virtual std::optional<SessionState> lookup_by_id(ByteView session_id) const;
 
-  void clear() {
+  virtual void store_by_peer(const std::string& peer, const SessionState& state);
+  virtual std::optional<SessionState> lookup_by_peer(const std::string& peer) const;
+
+  virtual void clear() {
     by_id_.clear();
     by_peer_.clear();
   }
-  std::size_t size() const { return by_id_.size() + by_peer_.size(); }
+  virtual std::size_t size() const { return by_id_.size() + by_peer_.size(); }
 
  private:
   std::map<Bytes, SessionState> by_id_;

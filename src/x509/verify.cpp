@@ -19,20 +19,29 @@ const char* to_string(VerifyStatus s) {
 VerifyStatus verify_chain(std::span<const Certificate> chain,
                           std::span<const Certificate> trust_anchors,
                           const VerifyOptions& options) {
+  std::vector<const Certificate*> ptrs;
+  ptrs.reserve(chain.size());
+  for (const auto& cert : chain) ptrs.push_back(&cert);
+  return verify_chain(ptrs, trust_anchors, options);
+}
+
+VerifyStatus verify_chain(std::span<const Certificate* const> chain,
+                          std::span<const Certificate> trust_anchors,
+                          const VerifyOptions& options) {
   if (chain.empty()) return VerifyStatus::kEmptyChain;
 
-  for (const auto& cert : chain) {
-    if (options.now < cert.info().not_before) return VerifyStatus::kNotYetValid;
-    if (options.now > cert.info().not_after) return VerifyStatus::kExpired;
+  for (const auto* cert : chain) {
+    if (options.now < cert->info().not_before) return VerifyStatus::kNotYetValid;
+    if (options.now > cert->info().not_after) return VerifyStatus::kExpired;
   }
 
-  if (!options.hostname.empty() && !chain[0].matches_hostname(options.hostname))
+  if (!options.hostname.empty() && !chain[0]->matches_hostname(options.hostname))
     return VerifyStatus::kHostnameMismatch;
 
   for (std::size_t i = 0; i < chain.size(); ++i) {
-    const Certificate& cert = chain[i];
+    const Certificate& cert = *chain[i];
     if (i + 1 < chain.size()) {
-      const Certificate& issuer = chain[i + 1];
+      const Certificate& issuer = *chain[i + 1];
       if (!issuer.info().is_ca) return VerifyStatus::kIssuerNotCa;
       if (issuer.info().subject_cn != cert.info().issuer_cn) return VerifyStatus::kUnknownIssuer;
       if (!cert.verify_signature(issuer.info().key)) return VerifyStatus::kBadSignature;

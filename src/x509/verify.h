@@ -35,4 +35,11 @@ VerifyStatus verify_chain(std::span<const Certificate> chain,
                           std::span<const Certificate> trust_anchors,
                           const VerifyOptions& options);
 
+/// Pointer-chain overload for callers holding certificates by reference —
+/// the dedup cert pool hands out shared parsed certificates, which cannot
+/// form a contiguous Certificate array without copying.
+VerifyStatus verify_chain(std::span<const Certificate* const> chain,
+                          std::span<const Certificate> trust_anchors,
+                          const VerifyOptions& options);
+
 }  // namespace mbtls::x509

@@ -10,10 +10,12 @@
 // middlebox, bindings, TCP, and the fault-injected links.
 #include <gtest/gtest.h>
 
+#include "mbtls/cache.h"
 #include "mbtls/metrics.h"
 #include "mbtls/transport.h"
 #include "net/chaos.h"
 #include "tests/tls_test_util.h"
+#include "tls/ticket.h"
 
 namespace mbtls::mb {
 namespace {
@@ -59,9 +61,16 @@ struct ChaosParties {
       : client(std::move(copts)), server(std::move(sopts)), mbox(std::move(mopts)) {}
 };
 
+/// Hook for scenarios that carry state across runs (resumption caches,
+/// rotating ticket keys): runs on the freshly built options before the
+/// parties are constructed.
+using OptionsHook =
+    std::function<void(ClientSession::Options&, ServerSession::Options&)>;
+
 std::unique_ptr<ChaosParties> wire_up(ChaosRig& rig, std::uint64_t seed,
                                       Time deadline = kHandshakeDeadline,
-                                      trace::Sink* sink = nullptr) {
+                                      trace::Sink* sink = nullptr,
+                                      const OptionsHook& customize = {}) {
   // One identity per process: the byte-for-byte trace determinism test needs
   // run N and run N+1 to present identical certificates (a fresh identity
   // per run would shift record lengths and key fingerprints).
@@ -87,6 +96,7 @@ std::unique_ptr<ChaosParties> wire_up(ChaosRig& rig, std::uint64_t seed,
   mopts.certificate_chain = mbox_id.chain;
   mopts.handshake_timeout = deadline;
   mopts.trace_sink = sink;
+  if (customize) customize(copts, sopts);
 
   auto parties = std::make_unique<ChaosParties>(std::move(copts), std::move(sopts),
                                                 std::move(mopts));
@@ -123,14 +133,15 @@ struct Outcome {
   bool delivered_prefix_intact = true;  // plaintext never corrupted
   bool client_terminal = false;
   bool server_terminal = false;
+  bool resumed = false;  // primary came up abbreviated
   std::string client_error, server_error;
   RunStatus status = RunStatus::kDrained;
   Time finished_at = 0;
 
   std::string fingerprint() const {
     return std::to_string(completed) + "|" + std::to_string(client_terminal) + "|" +
-           std::to_string(server_terminal) + "|" + client_error + "|" + server_error + "|" +
-           std::to_string(finished_at);
+           std::to_string(server_terminal) + "|" + std::to_string(resumed) + "|" +
+           client_error + "|" + server_error + "|" + std::to_string(finished_at);
   }
 };
 
@@ -138,7 +149,8 @@ struct Outcome {
 /// once established; the run ends when the blob arrived intact or both
 /// endpoints reached an explicit terminal state.
 Outcome run_chaos(std::uint64_t seed, const std::function<void(ChaosRig&)>& install,
-                  Time deadline = kHandshakeDeadline, trace::Recorder* rec = nullptr) {
+                  Time deadline = kHandshakeDeadline, trace::Recorder* rec = nullptr,
+                  const OptionsHook& customize = {}) {
   ChaosRig rig(seed);
   if (rec) {
     // Virtual-clock timestamps: a deterministic run leaves a byte-identical
@@ -146,7 +158,7 @@ Outcome run_chaos(std::uint64_t seed, const std::function<void(ChaosRig&)>& inst
     rec->set_clock([sim = &rig.sim] { return sim->now(); });
     rig.network.set_trace(rec);
   }
-  auto parties = wire_up(rig, seed, deadline, rec);
+  auto parties = wire_up(rig, seed, deadline, rec, customize);
   install(rig);
 
   crypto::Drbg blob_rng("chaos-blob", seed);
@@ -196,6 +208,7 @@ Outcome run_chaos(std::uint64_t seed, const std::function<void(ChaosRig&)>& inst
   out.server_terminal = !parties->server_binding || terminal(parties->server);
   out.client_error = parties->client.error_message();
   out.server_error = parties->server.error_message();
+  out.resumed = parties->client.established() && parties->client.primary().resumed();
   out.finished_at = rig.sim.now();
   return out;
 }
@@ -491,6 +504,57 @@ TEST(Chaos, StalledMiddleboxFallsBackToDirectTls) {
   fallback.flush();
   EXPECT_EQ(rig.sim.run(), RunStatus::kDrained);
   EXPECT_EQ(to_string(accepted[0].session->take_app_data()), "degraded but alive");
+}
+
+TEST(Chaos, TicketExchangeCorruptedMidRotation) {
+  // Control-plane chaos: connection 1 populates a session ticket cleanly,
+  // the fleet then rotates its ticket key (the cached ticket is now sealed
+  // under the previous generation — the abbreviated flight must carry a
+  // reissued NewSessionTicket), and connection 2 runs that exchange over
+  // links that corrupt and truncate records. Whatever the taps hit — the
+  // offered ticket, the reissued one, the Finished — the invariant holds:
+  // byte-exact completion or explicit errors at both ends, in bounded
+  // virtual time, bit-identical per seed.
+  auto episode = [](std::uint64_t seed) {
+    tls::TicketKeyManager keys("chaos-ticket-keys", seed);
+    ShardedSessionCache client_cache({.shards = 2, .capacity_per_shard = 8});
+    const OptionsHook customize = [&](ClientSession::Options& c,
+                                      ServerSession::Options& s) {
+      c.tls.session_cache = &client_cache;
+      c.tls.offer_resumption = true;
+      c.tls.enable_session_tickets = true;
+      s.tls.enable_session_tickets = true;
+      s.tls.ticket_keys = &keys;
+    };
+
+    const Outcome first = run_chaos(seed, [](ChaosRig&) {}, kHandshakeDeadline,
+                                    nullptr, customize);
+    expect_invariant(first);
+    EXPECT_TRUE(first.completed);
+    EXPECT_FALSE(first.resumed);
+    EXPECT_GT(client_cache.size(), 0u);
+
+    keys.rotate();  // mid-rotation: the held ticket is one generation old
+
+    const Outcome second = run_chaos(
+        seed,
+        [seed](ChaosRig& rig) {
+          rig.network.add_tap(
+              rig.nc, rig.nm,
+              ChaosTap::corrupt_byte(crypto::Drbg("chaos-rot-corrupt", seed), 0.03));
+          rig.network.add_tap(
+              rig.nm, rig.ns,
+              ChaosTap::truncate(crypto::Drbg("chaos-rot-trunc", seed), 0.08));
+        },
+        kHandshakeDeadline, nullptr, customize);
+    expect_invariant(second);
+    return first.fingerprint() + "#" + second.fingerprint();
+  };
+
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    // Same seed, same outcome, bit for bit — rotation included.
+    EXPECT_EQ(episode(seed), episode(seed)) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -14,8 +14,10 @@
 
 #include <set>
 
+#include "mbtls/cache.h"
 #include "mbtls/metrics.h"
 #include "tests/mbtls_test_util.h"
+#include "tls/ticket.h"
 
 namespace mbtls::mb {
 namespace {
@@ -72,19 +74,25 @@ struct TracedChain {
   void run(int client_mboxes, int server_mboxes, std::uint64_t seed,
            tls::SessionCache* client_cache = nullptr,
            tls::SessionCache* server_cache = nullptr,
-           tls::SessionCache* mbox_cache = nullptr) {
+           tls::SessionCache* mbox_cache = nullptr,
+           tls::TicketKeyManager* ticket_keys = nullptr) {
     auto copts = client_options("trace.example", seed);
     copts.trace_sink = &rec;
     if (client_cache) {
       copts.tls.session_cache = client_cache;
       copts.tls.offer_resumption = true;
     }
+    if (ticket_keys) copts.tls.enable_session_tickets = true;
     client = std::make_unique<ClientSession>(std::move(copts));
 
     static const tls::testing::ServerIdentity server_id = make_identity("trace.example");
     auto sopts = server_options(server_id, seed + 1);
     sopts.trace_sink = &rec;
     if (server_cache) sopts.tls.session_cache = server_cache;
+    if (ticket_keys) {
+      sopts.tls.enable_session_tickets = true;
+      sopts.tls.ticket_keys = ticket_keys;
+    }
     server = std::make_unique<ServerSession>(std::move(sopts));
 
     Chain chain;
@@ -227,6 +235,41 @@ TEST(TraceInvariants, ResumptionDistributesFreshUniqueHopKeys) {
   EXPECT_EQ(fingerprints_of(logs2).size(), 4u);
   // ...and disjoint from the first connection: resumption re-derives the
   // bridge keys from fresh randoms and generates brand-new hop keys.
+  for (const auto& fp : fingerprints_of(logs2)) {
+    EXPECT_FALSE(fingerprints_of(logs1).count(fp)) << "hop key reused across connections";
+  }
+}
+
+TEST(TraceInvariants, TicketResumptionThroughShardedCachesKeepsHopKeysFresh) {
+  // The million-user control plane under the P4 lens: the sharded session
+  // caches stand in for the plain map caches, the server seals tickets with
+  // a rotating key manager, and the key rotates between the connections —
+  // the second connection resumes by a stale-but-valid ticket. Freshness
+  // must be unaffected: pairwise-unique hop keys, all disjoint from the
+  // first connection's.
+  mb::ShardedSessionCache client_cache({.shards = 4, .capacity_per_shard = 16});
+  mb::ShardedSessionCache server_cache({.shards = 4, .capacity_per_shard = 16});
+  mb::ShardedSessionCache mbox_cache({.shards = 4, .capacity_per_shard = 16});
+  tls::TicketKeyManager keys("trace-ticket-keys", 0);
+
+  TracedChain first;
+  first.run(1, 0, 601, &client_cache, &server_cache, &mbox_cache, &keys);
+  ASSERT_FALSE(first.client->primary().resumed());
+
+  keys.rotate();
+
+  TracedChain second;
+  second.run(1, 0, 602, &client_cache, &server_cache, &mbox_cache, &keys);
+  ASSERT_TRUE(second.client->primary().resumed());
+  EXPECT_GE(keys.stats().unseal_stale, 1u);  // resumed across the rotation
+
+  const auto logs1 = hop_keylogs(first.rec.events(), "client");
+  const auto logs2 = hop_keylogs(second.rec.events(), "client");
+  ASSERT_EQ(logs1.size(), 2u);
+  ASSERT_EQ(logs2.size(), 2u);
+  // P4 within the resumed connection: 2 hops x 2 directions, all distinct.
+  EXPECT_EQ(fingerprints_of(logs2).size(), 4u);
+  // ...and entirely fresh relative to the first connection.
   for (const auto& fp : fingerprints_of(logs2)) {
     EXPECT_FALSE(fingerprints_of(logs1).count(fp)) << "hop key reused across connections";
   }

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "mbtls/cache.h"
 #include "mbtls/transport.h"
 #include "net/posix/epoll_loop.h"
 #include "tests/tls_test_util.h"
@@ -89,10 +90,22 @@ struct Parties {
   Stream* server_stream = nullptr;
 };
 
+/// Resumption state that outlives one rig: the sharded control-plane caches
+/// (the tentpole classes, driven here through the seam over both backends).
+/// ID-based resumption keeps every party — middlebox included — on the
+/// abbreviated path; the ticket/middlebox mixed mode is pinned separately
+/// in test_mbtls_resumption.
+struct ResumptionState {
+  ShardedSessionCache client_cache{{.shards = 2, .capacity_per_shard = 8}};
+  ShardedSessionCache server_cache{{.shards = 2, .capacity_per_shard = 8}};
+  ShardedSessionCache mbox_cache{{.shards = 2, .capacity_per_shard = 8}};
+};
+
 /// Client ↔ middlebox ↔ server across the rig's three transports, via the
 /// seam API only (listen_stream/dial/Endpoint — no backend types).
 template <typename Rig>
-std::unique_ptr<Parties> wire(Rig& rig, std::uint64_t seed) {
+std::unique_ptr<Parties> wire(Rig& rig, std::uint64_t seed,
+                              ResumptionState* resume = nullptr) {
   const auto server_id = make_identity("conf.example");
   const auto mbox_id = make_identity("confproxy.example");
 
@@ -101,17 +114,23 @@ std::unique_ptr<Parties> wire(Rig& rig, std::uint64_t seed) {
   copts.tls.trust_anchors = {test_ca().root()};
   copts.tls.server_name = "conf.example";
   copts.tls.rng_seed = seed;
+  if (resume) {
+    copts.tls.session_cache = &resume->client_cache;
+    copts.tls.offer_resumption = true;
+  }
   p->client = std::make_unique<ClientSession>(std::move(copts));
   ServerSession::Options sopts;
   sopts.tls.private_key = server_id.key;
   sopts.tls.certificate_chain = server_id.chain;
   sopts.tls.rng_seed = seed + 1;
+  if (resume) sopts.tls.session_cache = &resume->server_cache;
   p->server = std::make_unique<ServerSession>(std::move(sopts));
   Middlebox::Options mopts;
   mopts.name = "confproxy.example";
   mopts.side = Middlebox::Side::kClientSide;
   mopts.private_key = mbox_id.key;
   mopts.certificate_chain = mbox_id.chain;
+  if (resume) mopts.session_cache = &resume->mbox_cache;
   p->mbox = std::make_unique<Middlebox>(std::move(mopts));
 
   const Port sport = rig.server().listen_stream(rig.listen_port(443), [p = p.get()](Stream& s) {
@@ -175,6 +194,46 @@ TYPED_TEST(TransportConformance, FullHandshakeAndBidirectionalData) {
     return client_got.size() >= down_blob.size();
   }));
   EXPECT_EQ(client_got, down_blob);
+}
+
+TYPED_TEST(TransportConformance, FullThenResumedHandshake) {
+  // Connection 1 on a fresh rig: full handshakes everywhere, the sharded
+  // control-plane caches populate. Connection 2 on a second rig — new
+  // sockets/ports, same caches — must come up abbreviated at every party
+  // and still move data byte-exact.
+  ResumptionState resume;
+  {
+    TypeParam rig;
+    auto p = wire(rig, 800, &resume);
+    ASSERT_TRUE(rig.settle([&] {
+      return p->client->established() && p->server->established() && p->mbox->joined();
+    })) << "client: " << p->client->error_message()
+        << " server: " << p->server->error_message();
+    EXPECT_FALSE(p->client->primary().resumed());
+  }
+  EXPECT_GT(resume.client_cache.size(), 0u);
+  EXPECT_GT(resume.mbox_cache.size(), 0u);
+
+  TypeParam rig;
+  auto p = wire(rig, 810, &resume);
+  ASSERT_TRUE(rig.settle([&] {
+    return p->client->established() && p->server->established() && p->mbox->joined();
+  })) << "client: " << p->client->error_message()
+      << " server: " << p->server->error_message();
+  EXPECT_TRUE(p->client->primary().resumed());
+  EXPECT_TRUE(p->server->primary().resumed());
+  EXPECT_TRUE(p->mbox->resumed());
+
+  crypto::Drbg rng("conformance-resumed-data", 81);
+  const Bytes blob = rng.bytes(32 * 1024);
+  p->client->send(blob);
+  p->client_binding->flush();
+  Bytes got;
+  ASSERT_TRUE(rig.settle([&] {
+    append(got, p->server->take_app_data());
+    return got.size() >= blob.size();
+  }));
+  EXPECT_EQ(got, blob);
 }
 
 TYPED_TEST(TransportConformance, CloseNotifyTeardown) {

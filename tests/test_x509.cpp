@@ -176,7 +176,7 @@ TEST(X509, ChainVerifyFailures) {
               VerifyStatus::kUnknownIssuer);
   }
   {
-    EXPECT_EQ(verify_chain({}, anchors, opts), VerifyStatus::kEmptyChain);
+    EXPECT_EQ(verify_chain(std::span<const Certificate>{}, anchors, opts), VerifyStatus::kEmptyChain);
   }
   {
     // Anchor with matching name but wrong key -> bad signature.
