@@ -91,9 +91,12 @@ echo "=== bench_fig7_sgx_throughput --scaling (multi-core data plane) ==="
 
 if [[ "$c10k" == 1 ]]; then
   echo
-  echo "=== bench_c10k (posix epoll backend, real loopback sockets) ==="
-  c10k_args=()
-  [[ "$quick" == 1 ]] && c10k_args=(--quick)  # 25 sessions, 0.3 s window
+  echo "=== bench_c10k (multi-loop SO_REUSEPORT grid, real loopback sockets) ==="
+  # Full grid sweeps loops {1,2,4} plus the 10k-session row at 4 loops and
+  # enforces the >=2.5x capacity-scaling floor (4 loops vs 1); quick mode
+  # runs a tiny {1,2}-loop grid with no floor.
+  c10k_args=(--grid)
+  [[ "$quick" == 1 ]] && c10k_args=(--quick --grid)  # 25 sessions, 0.3 s window
   ./build/bench/bench_c10k "${c10k_args[@]}" --json "$out_dir/BENCH_c10k.json"
 fi
 

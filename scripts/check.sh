@@ -39,11 +39,13 @@ else
 fi
 
 step "transport: posix backend + cross-backend conformance + loopback"
-# TimerWheel/EpollLoop units, the sim-vs-epoll conformance matrix (including
-# the transport-glue bugfix regressions), and the three-thread loopback
-# integration pass — all over real 127.0.0.1 sockets.
+# TimerWheel/EpollLoop units (including cross-thread post/wakeup), the
+# multi-loop SO_REUSEPORT LoopGroup suite, the sim-vs-epoll conformance
+# matrix (including the transport-glue bugfix regressions), the timer-driven
+# ticket rotator, and the loopback integration passes (three-thread and
+# 4-loop-per-tier) — all over real 127.0.0.1 sockets.
 ctest --preset default \
-  -R 'TimerWheel\.|EpollLoop\.|TransportConformance/|PosixLoopback\.|TransportGlue\.' \
+  -R 'TimerWheel\.|EpollLoop\.|LoopGroup\.|TransportConformance/|PosixLoopback\.|TransportGlue\.|TicketRotator\.' \
   --output-on-failure
 
 step "chaos: fault-injection pass (ctest -R Chaos)"
@@ -64,7 +66,7 @@ scripts/bench.sh --quick --churn --out /tmp/mbtls-bench-check
 step "tsan: build concurrency tests"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" --target test_workpool test_posix_loopback \
-  test_transport_conformance test_control_plane
+  test_posix_net test_transport_conformance test_control_plane
 
 step "tsan: WorkPool / ReprotectPipeline / DrbgThreading"
 ctest --preset tsan -R 'SpscRing\.|WorkPool\.|ReprotectPipeline\.|DrbgThreading\.' \
@@ -76,11 +78,15 @@ ctest --preset tsan -R 'SpscRing\.|WorkPool\.|ReprotectPipeline\.|DrbgThreading\
 step "tsan: control-plane shard hammer"
 ctest --preset tsan -R 'ControlPlaneConcurrency\.' --output-on-failure
 
-# The loopback integration test drives three epoll loops on three threads —
-# the only place transport code runs multi-threaded — and the conformance
-# matrix exercises both backends under the same instrumentation.
-step "tsan: posix loopback + transport conformance"
-ctest --preset tsan -R 'PosixLoopback\.|TransportConformance/' --output-on-failure
+# The loopback integration tests drive epoll loops on real threads — three
+# single loops in the flagship pass, 4-loop SO_REUSEPORT groups per tier in
+# the multi-loop pass — plus the cross-thread post/eventfd-wakeup units and
+# the conformance matrix, all under the same instrumentation. Transport is
+# the subsystem where a missed happens-before corrupts sessions silently.
+step "tsan: posix loopback + loop groups + transport conformance"
+ctest --preset tsan \
+  -R 'PosixLoopback\.|LoopGroup\.|EpollLoop\.(Posted|Pending|CrossThread)|TransportConformance/' \
+  --output-on-failure
 
 if [[ "$fast" == 1 ]]; then
   step "fast mode: skipping sanitizer builds"

@@ -136,6 +136,16 @@ std::size_t ShardedSessionCache::size() const {
   return total;
 }
 
+std::vector<std::size_t> ShardedSessionCache::shard_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    sizes.push_back(shard->by_id.index.size());
+  }
+  return sizes;
+}
+
 CacheStats ShardedSessionCache::stats() const {
   return {hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed),
           stores_.load(std::memory_order_relaxed),

@@ -73,6 +73,12 @@ class ShardedSessionCache : public tls::SessionCache {
   std::size_t shard_count() const { return shards_.size(); }
   CacheStats stats() const;
 
+  /// Per-shard by-id entry counts — how evenly FNV sharding spread the
+  /// fleet's sessions. Multi-loop deployments report this next to the
+  /// per-loop accept balance (bench_c10k --loops) to show neither layer of
+  /// sharding collapsed onto one stripe.
+  std::vector<std::size_t> shard_sizes() const;
+
  private:
   struct Entry {
     Bytes key;

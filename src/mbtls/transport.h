@@ -26,6 +26,7 @@
 #include "net/tcp.h"  // the default (simulator) backend
 #include "net/transport.h"
 #include "tls/engine.h"
+#include "tls/ticket.h"
 
 namespace mbtls::mb {
 
@@ -171,6 +172,44 @@ class MiddleboxBinding {
   Bytes pending_up_;
   Bytes pending_down_;
   std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
+};
+
+/// Periodic ticket-key rotation driven by the owning loop's scheduler: the
+/// control plane's fleet-wide rotation becomes a timer-wheel event instead
+/// of an operator calling TicketKeyManager::rotate() by hand. One rotator
+/// per process (the manager itself is shared by every server engine); it
+/// lives on one loop — rotate() is internally locked, so which loop fires
+/// it does not matter. The deliberately-uncancellable timer carries the
+/// same weak liveness token as every other binding timer: destroy the
+/// rotator and the armed callback degrades to a no-op.
+class TicketRotator {
+ public:
+  /// Arms immediately: the first rotation fires `interval` from now, then
+  /// every `interval` after that. A zero interval arms nothing.
+  TicketRotator(net::Scheduler& sched, tls::TicketKeyManager& keys, net::Time interval)
+      : sched_(sched), keys_(keys), interval_(interval) {
+    if (interval_ != 0) rearm();
+  }
+
+  /// Rotations fired by this rotator (not the manager's total generation,
+  /// which manual rotate() calls also advance).
+  std::uint64_t rotations() const { return *count_; }
+
+ private:
+  void rearm() {
+    sched_.schedule(interval_, [this, alive = std::weak_ptr<std::uint64_t>(count_)] {
+      if (alive.expired()) return;
+      keys_.rotate();
+      ++*count_;
+      rearm();
+    });
+  }
+
+  net::Scheduler& sched_;
+  tls::TicketKeyManager& keys_;
+  net::Time interval_;
+  // Doubles as the liveness token the armed callback holds weakly.
+  std::shared_ptr<std::uint64_t> count_ = std::make_shared<std::uint64_t>(0);
 };
 
 /// The paper's P5 degradation path as a transport-level policy: dial the

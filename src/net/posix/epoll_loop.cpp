@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -41,8 +42,10 @@ SocketError map_connect_errno(int err) {
 
 // Listeners and streams share one epoll instance; the low pointer bit tags
 // which kind a ready event belongs to (both are heap objects, so bit 0 of
-// the pointer is always free).
+// the pointer is always free). The wakeup eventfd registers with a bare
+// sentinel value no heap pointer can collide with.
 constexpr std::uint64_t kListenerTag = 1;
+constexpr std::uint64_t kWakeupTag = 2;
 
 }  // namespace
 
@@ -187,6 +190,7 @@ void TcpStream::fail(SocketError err) {
 void TcpStream::become_closed() {
   if (state_ == State::kClosed) return;  // on_close fires exactly once
   state_ = State::kClosed;
+  loop_.open_count_.fetch_sub(1, std::memory_order_relaxed);
   loop_.deregister(fd_);
   ::close(fd_);
   fd_ = -1;
@@ -204,12 +208,19 @@ void TcpStream::become_closed() {
 EpollLoop::EpollLoop() : t0_ns_(monotonic_nanos()) {
   epfd_ = ::epoll_create1(0);
   if (epfd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) throw_errno("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: poll_once drains the counter
+  ev.data.u64 = kWakeupTag;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) throw_errno("epoll_ctl(wakeup)");
 }
 
 EpollLoop::~EpollLoop() {
   for (auto& l : listeners_)
     if (l->fd >= 0) ::close(l->fd);
   streams_.clear();  // TcpStream dtors close their fds
+  if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epfd_ >= 0) ::close(epfd_);
 }
 
@@ -219,10 +230,32 @@ void EpollLoop::schedule(Time delay, std::function<void()> fn) {
   wheel_.schedule(now(), delay, std::move(fn));
 }
 
+void EpollLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+    posted_pending_.store(posted_.size(), std::memory_order_release);
+  }
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) still wakes the loop; nothing to retry.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EpollLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+    posted_pending_.store(0, std::memory_order_release);
+  }
+  for (auto& fn : batch) fn();
+}
+
 TcpStream& EpollLoop::adopt(int fd, TcpStream::State state) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   streams_.push_back(std::unique_ptr<TcpStream>(new TcpStream(*this, fd, state)));
+  open_count_.fetch_add(1, std::memory_order_relaxed);
   TcpStream& s = *streams_.back();
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
@@ -255,11 +288,12 @@ Stream& EpollLoop::dial(const Endpoint& remote) {
   return adopt(fd, TcpStream::State::kConnecting);
 }
 
-Port EpollLoop::listen_stream(Port port, StreamHandler on_accept) {
+Port EpollLoop::listen_stream(Port port, StreamHandler on_accept, bool reuse_port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) throw_errno("socket");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -301,12 +335,19 @@ void EpollLoop::handle_accept(Listener& listener) {
 
 bool EpollLoop::poll_once(Time max_wait) {
   bool did_work = wheel_.advance(now()) > 0;
-  const Time wait = wheel_.time_until_next(now(), max_wait);
+  // Don't block while cross-thread posts are queued: run them this round.
+  const Time cap = posted_pending_.load(std::memory_order_acquire) > 0 ? 0 : max_wait;
+  const Time wait = wheel_.time_until_next(now(), cap);
   epoll_event evs[64];
   const int timeout_ms =
       wait == 0 ? 0 : static_cast<int>(std::max<Time>(1, wait / kMillisecond));
   const int n = ::epoll_wait(epfd_, evs, 64, timeout_ms);
   for (int i = 0; i < n; ++i) {
+    if (evs[i].data.u64 == kWakeupTag) {  // posts drain below, every round
+      std::uint64_t counter = 0;
+      [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &counter, sizeof(counter));
+      continue;
+    }
     did_work = true;
     if (evs[i].data.u64 & kListenerTag) {
       handle_accept(*reinterpret_cast<Listener*>(evs[i].data.u64 & ~kListenerTag));
@@ -314,17 +355,19 @@ bool EpollLoop::poll_once(Time max_wait) {
       static_cast<TcpStream*>(evs[i].data.ptr)->handle_events(evs[i].events);
     }
   }
+  // Unconditional: a post can land between the queue push and the eventfd
+  // write becoming visible, and coalesced wakeups must not strand tasks.
+  if (posted_pending_.load(std::memory_order_acquire) > 0) {
+    drain_posted();
+    did_work = true;
+  }
   did_work |= wheel_.advance(now()) > 0;
   return did_work;
 }
 
-bool EpollLoop::idle() const { return wheel_.pending() == 0 && open_streams() == 0; }
-
-std::size_t EpollLoop::open_streams() const {
-  std::size_t n = 0;
-  for (const auto& s : streams_)
-    if (!s->closed()) ++n;
-  return n;
+bool EpollLoop::idle() const {
+  return wheel_.pending() == 0 && open_streams() == 0 &&
+         posted_pending_.load(std::memory_order_acquire) == 0;
 }
 
 RunStatus EpollLoop::run(std::size_t max_rounds) {

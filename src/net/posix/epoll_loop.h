@@ -23,7 +23,9 @@
 //    deadlines arm with the same small numbers as on the simulator.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -92,8 +94,24 @@ class EpollLoop final : public Transport, public Scheduler {
   // the peer; `Endpoint::node` is ignored on this backend. listen_stream(0)
   // binds an ephemeral port and returns it.
   Stream& dial(const Endpoint& remote) override;
-  Port listen_stream(Port port, StreamHandler on_accept) override;
+  Port listen_stream(Port port, StreamHandler on_accept) override {
+    return listen_stream(port, std::move(on_accept), /*reuse_port=*/false);
+  }
   Scheduler& scheduler() override { return *this; }
+
+  /// Listener with SO_REUSEPORT: several loops (one per thread) bind the
+  /// same port and the kernel shards incoming connections across them by
+  /// 4-tuple hash — no user-space handoff, no shared accept lock. This is
+  /// how LoopGroup scales accepts across cores.
+  Port listen_stream(Port port, StreamHandler on_accept, bool reuse_port);
+
+  /// Thread-safe: run `fn` on this loop's thread during its next dispatch
+  /// round, waking the loop via eventfd if it is blocked in epoll_wait.
+  /// The only EpollLoop entry point that may be called from another thread
+  /// (everything else — dial, listen, send — stays loop-thread-only).
+  /// Posted work counts against idle(): a loop with queued posts is not
+  /// drained.
+  void post(std::function<void()> fn);
 
   // Scheduler seam: CLOCK_MONOTONIC microseconds since construction.
   Time now() const override;
@@ -112,10 +130,13 @@ class EpollLoop final : public Transport, public Scheduler {
   /// how a driver interleaves several loops on one thread.
   bool poll_once(Time max_wait = 0);
 
-  /// No open streams and no pending timers.
+  /// No open streams, no pending timers, no queued posts.
   bool idle() const;
 
-  std::size_t open_streams() const;
+  /// Currently open (not yet closed) streams. Safe from any thread: backed
+  /// by a relaxed atomic kept by adopt()/become_closed(), which is what lets
+  /// LoopGroup's least-sessions dial policy read sibling loops' load.
+  std::size_t open_streams() const { return open_count_.load(std::memory_order_relaxed); }
 
  private:
   friend class TcpStream;
@@ -130,12 +151,21 @@ class EpollLoop final : public Transport, public Scheduler {
   TcpStream& adopt(int fd, TcpStream::State state);
   void handle_accept(Listener& listener);
   void deregister(int fd);
+  void drain_posted();
 
   int epfd_ = -1;
+  int wake_fd_ = -1;  // eventfd; written by post(), drained by poll_once()
   std::uint64_t t0_ns_ = 0;
   TimerWheel wheel_;
   std::vector<std::unique_ptr<TcpStream>> streams_;
   std::vector<std::unique_ptr<Listener>> listeners_;
+  std::atomic<std::size_t> open_count_{0};
+
+  // Cross-thread post queue. The mutex guards only the vector swap; posted
+  // callbacks run unlocked on the loop thread.
+  mutable std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+  std::atomic<std::size_t> posted_pending_{0};
 };
 
 }  // namespace mbtls::net::posix

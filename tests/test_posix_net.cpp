@@ -6,10 +6,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/posix/epoll_loop.h"
+#include "net/posix/loop_group.h"
 #include "net/posix/timer_wheel.h"
 
 namespace mbtls::net::posix {
@@ -286,6 +290,130 @@ TEST(EpollLoop, RunUntilRespectsDeadline) {
   EXPECT_FALSE(fired);
   EXPECT_EQ(loop.run(), RunStatus::kDrained);
   EXPECT_TRUE(fired);
+}
+
+// ----------------------------------------------------------- posts + wakeup
+
+TEST(EpollLoop, PostedWorkRunsOnNextRoundAndCountsAgainstIdle) {
+  EpollLoop loop;
+  bool ran = false;
+  loop.post([&] { ran = true; });
+  EXPECT_FALSE(loop.idle());  // a queued post is pending work
+  loop.poll_once(0);
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(loop.idle());
+}
+
+TEST(EpollLoop, PendingPostShortCircuitsTheWait) {
+  // A post already queued must not sit behind a long epoll_wait timeout —
+  // the loop polls without blocking and runs it this round.
+  EpollLoop loop;
+  bool ran = false;
+  loop.post([&] { ran = true; });
+  const auto t0 = std::chrono::steady_clock::now();
+  loop.poll_once(5 * kSecond);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(ran);
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 1.0);
+}
+
+TEST(EpollLoop, CrossThreadPostWakesABlockedLoop) {
+  // The loop blocks in epoll_wait with a multi-second budget; a post from
+  // another thread must cut the wait short via the eventfd, not ride it out.
+  EpollLoop loop;
+  std::atomic<bool> ran{false};
+  std::thread poster([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    loop.post([&] { ran.store(true, std::memory_order_release); });
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!ran.load(std::memory_order_acquire)) loop.poll_once(10 * kSecond);
+  const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+  poster.join();
+  EXPECT_LT(elapsed.count(), 5.0);  // woke on the eventfd, not the timeout
+}
+
+// ------------------------------------------------------------------ LoopGroup
+// Single-threaded LoopGroup semantics: loops are driven manually with
+// poll_once (start() never called), which pins down the sharding and
+// placement logic without any interleaving nondeterminism. The threaded
+// lifecycle runs in tests/test_posix_loopback.cpp.
+
+void poll_group(LoopGroup& group, int rounds = 50) {
+  for (int r = 0; r < rounds; ++r)
+    for (std::size_t i = 0; i < group.size(); ++i) group.loop(i).poll_once(0);
+}
+
+TEST(LoopGroup, ReuseportListenersShareOnePortAndShardAccepts) {
+  LoopGroup group({4, LoopGroup::DialPolicy::kRoundRobin});
+  std::vector<std::size_t> accept_loops;
+  const Port port = group.listen(0, [&](std::size_t li, Stream& s) {
+    accept_loops.push_back(li);
+    (void)s;
+  });
+  ASSERT_NE(port, 0);
+
+  EpollLoop dialer;
+  constexpr int kDials = 16;
+  for (int i = 0; i < kDials; ++i) dialer.dial({0, port, "127.0.0.1"});
+  for (int r = 0; r < 100 && accept_loops.size() < kDials; ++r) {
+    dialer.poll_once(kMillisecond);
+    poll_group(group, 1);
+  }
+
+  // Every connection landed on exactly one loop, and the per-loop counters
+  // account for all of them.
+  EXPECT_EQ(accept_loops.size(), static_cast<std::size_t>(kDials));
+  const auto counts = group.accept_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kDials));
+}
+
+TEST(LoopGroup, RoundRobinCyclesThroughLoops) {
+  LoopGroup group({3, LoopGroup::DialPolicy::kRoundRobin});
+  EXPECT_EQ(group.pick_loop(), 0u);
+  EXPECT_EQ(group.pick_loop(), 1u);
+  EXPECT_EQ(group.pick_loop(), 2u);
+  EXPECT_EQ(group.pick_loop(), 0u);
+}
+
+TEST(LoopGroup, LeastSessionsAvoidsTheLoadedLoop) {
+  LoopGroup group({2, LoopGroup::DialPolicy::kLeastSessions});
+  const Port port = group.loop(0).listen_stream(0, [](Stream&) {});
+  group.loop(0).dial({0, port, "127.0.0.1"});  // loop 0 now carries streams
+  poll_group(group);
+  ASSERT_GT(group.loop(0).open_streams(), 0u);
+  EXPECT_EQ(group.pick_loop(), 1u);
+}
+
+TEST(LoopGroup, PostDialRunsOnTheChosenLoopThread) {
+  LoopGroup group({2, LoopGroup::DialPolicy::kRoundRobin});
+  group.start();
+  std::atomic<bool> ran{false};
+  std::atomic<std::size_t> seen_index{99};
+  const std::size_t chosen = group.post_dial([&](EpollLoop& loop, std::size_t i) {
+    (void)loop;
+    seen_index.store(i, std::memory_order_relaxed);
+    ran.store(true, std::memory_order_release);
+  });
+  for (int waited = 0; waited < 2000 && !ran.load(std::memory_order_acquire); ++waited)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  group.stop();
+  ASSERT_TRUE(ran.load());
+  EXPECT_EQ(seen_index.load(), chosen);
+}
+
+TEST(LoopGroup, StopJoinsAndCanBeCalledIdempotently) {
+  LoopGroup group({2, LoopGroup::DialPolicy::kRoundRobin});
+  EXPECT_FALSE(group.running());
+  group.start();
+  EXPECT_TRUE(group.running());
+  group.stop();
+  EXPECT_FALSE(group.running());
+  group.stop();  // second stop is a no-op, not a crash
+  EXPECT_FALSE(group.running());
 }
 
 }  // namespace
